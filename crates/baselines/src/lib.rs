@@ -1,0 +1,244 @@
+#![warn(missing_docs)]
+//! # baselines — materialized-`S` SpMM baselines
+//!
+//! The paper's Tables II and IV compare the regeneration kernels against
+//! library SpMM with an explicit, pre-generated `S`: Intel MKL, Eigen and
+//! Julia's SparseArrays. Those libraries are not linkable here, so this
+//! crate reimplements the *kernels the paper actually timed*, preserving
+//! each library's storage convention and access pattern:
+//!
+//! * [`mkl_style`] — MKL only supports sparse-times-dense, so the paper
+//!   computes the transposed product `Âᵀ = Aᵀ·Sᵀ` with `Aᵀ` in CSR and `Sᵀ`
+//!   dense row-major. (`Aᵀ`-CSR is exactly `A`-CSC reinterpreted, and
+//!   `Sᵀ`-row-major is `S`-column-major reinterpreted, so no conversion is
+//!   timed — same as the paper.)
+//! * [`eigen_style`] — Eigen's sparse·dense: for each output column, gather
+//!   `Σⱼ A[j,k]·S[:,j]` with a temporary accumulator column, then write back.
+//! * [`csc_outer`] (Julia style) — straight CSC traversal updating `Â`
+//!   columns in place.
+//! * [`materialize_s`] / [`materialize_s_bytes`] — build the explicit `S`
+//!   from the same checkpoint sampler the implicit kernels use (so baseline
+//!   and regeneration kernels compute the *same* product), and report its
+//!   memory footprint — the reason pre-generation fails at scale (`S` for
+//!   the paper's `ch7-9-b3` needs ~44 GB).
+//!
+//! Generation time is kept separate from multiply time, matching the
+//! paper's methodology ("we don't include generation time" for the
+//! pre-generated method in Figure 4).
+
+use densekit::Matrix;
+use rngkit::BlockSampler;
+use sparsekit::{CscMatrix, Scalar};
+
+/// Materialize the implicit `S` (d×m, column-major) using the identical
+/// checkpoints the regeneration kernels use with blocking `b_d`, so
+/// `materialize_s(..) · A == sketch_alg3(..)` exactly.
+pub fn materialize_s<T, S>(sampler: &S, d: usize, m: usize, b_d: usize) -> Matrix<T>
+where
+    T: Scalar,
+    S: BlockSampler<T> + Clone,
+{
+    let mut s = sampler.clone();
+    let mut out = Matrix::zeros(d, m);
+    let b_d = b_d.max(1);
+    let mut i = 0;
+    while i < d {
+        let d1 = b_d.min(d - i);
+        for j in 0..m {
+            s.set_state(i, j);
+            s.fill(&mut out.col_mut(j)[i..i + d1]);
+        }
+        i += b_d;
+    }
+    out
+}
+
+/// Bytes needed to store an explicit `d×m` matrix of `T` — the memory wall
+/// that motivates on-the-fly generation.
+pub fn materialize_s_bytes<T>(d: usize, m: usize) -> usize {
+    d * m * std::mem::size_of::<T>()
+}
+
+/// MKL-style transposed product: `Âᵀ = Aᵀ·Sᵀ`, `Aᵀ` in CSR (= `A`'s CSC
+/// arrays), output row-major `n×d` (= `Â` column-major reinterpreted).
+///
+/// Returns `Â` as a `d×n` column-major matrix (the reinterpretation is free).
+pub fn mkl_style<T: Scalar>(a: &CscMatrix<T>, s: &Matrix<T>) -> Matrix<T> {
+    let (d, m, n) = (s.nrows(), a.nrows(), a.ncols());
+    assert_eq!(s.ncols(), m, "S columns must match A rows");
+    // Row i of Aᵀ is column i of A; row j of Sᵀ is column j of S (length d,
+    // contiguous). The MKL kernel is out_row += a_val * s_row: a row-major
+    // axpy accumulation.
+    let mut out = Matrix::zeros(d, n); // column k of out = row k of Âᵀ
+    for k in 0..n {
+        let (rows, vals) = a.col(k); // row k of Aᵀ
+        let out_row = out.col_mut(k);
+        for (&j, &ajk) in rows.iter().zip(vals.iter()) {
+            let s_row = s.col(j); // row j of Sᵀ
+            for (o, &sv) in out_row.iter_mut().zip(s_row.iter()) {
+                *o = ajk.mul_add(sv, *o);
+            }
+        }
+    }
+    out
+}
+
+/// Eigen-style sparse·dense: per output column, accumulate into a dense
+/// temporary and write back once.
+pub fn eigen_style<T: Scalar>(a: &CscMatrix<T>, s: &Matrix<T>) -> Matrix<T> {
+    let (d, m, n) = (s.nrows(), a.nrows(), a.ncols());
+    assert_eq!(s.ncols(), m, "S columns must match A rows");
+    let mut out = Matrix::zeros(d, n);
+    let mut acc = vec![T::ZERO; d];
+    for k in 0..n {
+        acc.fill(T::ZERO);
+        let (rows, vals) = a.col(k);
+        for (&j, &ajk) in rows.iter().zip(vals.iter()) {
+            for (o, &sv) in acc.iter_mut().zip(s.col(j).iter()) {
+                *o = ajk.mul_add(sv, *o);
+            }
+        }
+        out.col_mut(k).copy_from_slice(&acc);
+    }
+    out
+}
+
+/// Julia-SparseArrays-style: CSC traversal updating `Â`'s columns in place.
+pub fn csc_outer<T: Scalar>(a: &CscMatrix<T>, s: &Matrix<T>) -> Matrix<T> {
+    let (d, m, n) = (s.nrows(), a.nrows(), a.ncols());
+    assert_eq!(s.ncols(), m, "S columns must match A rows");
+    let mut out = Matrix::zeros(d, n);
+    for k in 0..n {
+        let (rows, vals) = a.col(k);
+        let out_col = out.col_mut(k);
+        for (&j, &ajk) in rows.iter().zip(vals.iter()) {
+            for (o, &sv) in out_col.iter_mut().zip(s.col(j).iter()) {
+                *o = ajk.mul_add(sv, *o);
+            }
+        }
+    }
+    out
+}
+
+/// Pre-generated `S` inside Algorithm 1's blocked loop structure — the
+/// "pre-generating S in memory" series of Figure 4: same blocking as the
+/// regeneration kernels, but `v` comes from memory instead of the RNG.
+pub fn pregen_blocked<T: Scalar>(
+    a: &CscMatrix<T>,
+    s: &Matrix<T>,
+    b_d: usize,
+    b_n: usize,
+) -> Matrix<T> {
+    let (d, m, n) = (s.nrows(), a.nrows(), a.ncols());
+    assert_eq!(s.ncols(), m, "S columns must match A rows");
+    let (b_d, b_n) = (b_d.max(1), b_n.max(1));
+    let mut out = Matrix::zeros(d, n);
+    let mut j0 = 0;
+    while j0 < n {
+        let n1 = b_n.min(n - j0);
+        let mut i = 0;
+        while i < d {
+            let d1 = b_d.min(d - i);
+            for k in j0..j0 + n1 {
+                let (rows, vals) = a.col(k);
+                let out_seg = &mut out.col_mut(k)[i..i + d1];
+                for (&j, &ajk) in rows.iter().zip(vals.iter()) {
+                    let s_seg = &s.col(j)[i..i + d1];
+                    for (o, &sv) in out_seg.iter_mut().zip(s_seg.iter()) {
+                        *o = ajk.mul_add(sv, *o);
+                    }
+                }
+            }
+            i += b_d;
+        }
+        j0 += b_n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngkit::{CheckpointRng, UnitUniform, Xoshiro256PlusPlus};
+    use sketchcore::{sketch_alg3, SketchConfig};
+
+    type Rng = CheckpointRng<Xoshiro256PlusPlus>;
+
+    fn random_csc(m: usize, n: usize, nnz: usize, seed: u64) -> CscMatrix<f64> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 11
+        };
+        let mut coo = sparsekit::CooMatrix::new(m, n);
+        for _ in 0..nnz {
+            coo.push(
+                (next() % m as u64) as usize,
+                (next() % n as u64) as usize,
+                (next() % 1000) as f64 / 500.0 - 0.9995,
+            )
+            .unwrap();
+        }
+        coo.to_csc().unwrap()
+    }
+
+    #[test]
+    fn all_baselines_match_regeneration_kernel() {
+        let a = random_csc(50, 30, 200, 1);
+        let cfg = SketchConfig::new(24, 7, 5, 9);
+        let sampler = UnitUniform::<f64>::sampler(Rng::new(cfg.seed));
+        let implicit = sketch_alg3(&a, &cfg, &sampler);
+        let s = materialize_s(&sampler, cfg.d, a.nrows(), cfg.b_d);
+        let tol = 1e-12 * implicit.fro_norm().max(1.0);
+        for (name, got) in [
+            ("mkl", mkl_style(&a, &s)),
+            ("eigen", eigen_style(&a, &s)),
+            ("julia", csc_outer(&a, &s)),
+            ("pregen_blocked", pregen_blocked(&a, &s, cfg.b_d, cfg.b_n)),
+        ] {
+            assert!(
+                got.diff_norm(&implicit) < tol,
+                "{name} disagrees with the regeneration kernel"
+            );
+        }
+    }
+
+    #[test]
+    fn s_memory_accounting() {
+        assert_eq!(materialize_s_bytes::<f64>(100, 200), 160_000);
+        assert_eq!(materialize_s_bytes::<f32>(100, 200), 80_000);
+        // The paper-scale wall: ch7-9-b3 needs d×m = 52920×105840 f64 ≈ 44.8 GB.
+        let bytes = materialize_s_bytes::<f64>(52920, 105840);
+        assert!(bytes > 44_000_000_000);
+    }
+
+    #[test]
+    fn materialized_s_respects_checkpoints() {
+        // Entry (i, j) of S only depends on (seed, block of i, j).
+        let sampler = UnitUniform::<f64>::sampler(Rng::new(7));
+        let s1 = materialize_s(&sampler, 16, 10, 4);
+        let s2 = materialize_s(&sampler, 16, 10, 4);
+        assert_eq!(s1, s2);
+        // Different b_d changes the blocking and therefore the sketch.
+        let s3 = materialize_s(&sampler, 16, 10, 8);
+        assert!(s1.diff_norm(&s3) > 1e-8);
+    }
+
+    #[test]
+    fn empty_sparse_input() {
+        let a = CscMatrix::<f64>::zeros(10, 4);
+        let sampler = UnitUniform::<f64>::sampler(Rng::new(1));
+        let s = materialize_s(&sampler, 6, 10, 3);
+        for out in [mkl_style(&a, &s), eigen_style(&a, &s), csc_outer(&a, &s)] {
+            assert!(out.as_slice().iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "S columns")]
+    fn shape_mismatch_panics() {
+        let a = CscMatrix::<f64>::zeros(10, 4);
+        let s = Matrix::<f64>::zeros(6, 9);
+        let _ = mkl_style(&a, &s);
+    }
+}

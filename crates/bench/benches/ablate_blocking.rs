@@ -1,0 +1,36 @@
+//! Ablation: block-size sweep for Algorithm 3, including the degenerate
+//! blockings the paper discusses — `b_d = d` (one checkpoint per column of
+//! `S`, maximal reuse of the seek) versus small `b_d` (more seeks, smaller
+//! working set), and `b_n` from 1 (the column-at-a-time pylspack scheme) to
+//! `n` (no column blocking). Compare with `sketchcore::model`'s prediction.
+//!
+//! Run: `cargo bench -p bench --bench ablate_blocking`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rngkit::{FastRng, UnitUniform};
+use sketchcore::{sketch_alg3, SketchConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (m, n, rho) = (8_000, 600, 4e-3);
+    let a = datagen::uniform_random::<f64>(m, n, rho, 5);
+    let d = 3 * n;
+    let sampler = UnitUniform::<f64>::sampler(FastRng::new(1));
+
+    let mut g = c.benchmark_group("blocking_sweep");
+    g.sample_size(12);
+    for b_d in [64usize, 512, 1800] {
+        for b_n in [1usize, 64, 600] {
+            let cfg = SketchConfig::new(d, b_d, b_n, 1);
+            g.bench_with_input(
+                BenchmarkId::new(format!("bd{b_d}"), format!("bn{b_n}")),
+                &cfg,
+                |b, cfg| b.iter(|| black_box(sketch_alg3(&a, cfg, &sampler))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation: entry representation for the ±1 distribution — materialized
+//! `i8` signs with a select-add kernel vs the fused sign-XOR `f64` path vs
+//! plain uniform, plus the `f32` uniform variant (paper §III-C works in
+//! 32 bits).
+//!
+//! Run: `cargo bench -p bench --bench ablate_dtype`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rngkit::{FastRng, Rademacher, UnitUniform};
+use sketchcore::{sketch_alg3, sketch_alg3_signs, SketchConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let a64 = datagen::uniform_random::<f64>(6_000, 500, 4e-3, 1);
+    let a32 = datagen::uniform_random::<f32>(6_000, 500, 4e-3, 1);
+    let cfg = SketchConfig::new(1_500, 1_500, 250, 7);
+
+    let mut g = c.benchmark_group("dtype");
+    g.sample_size(15);
+    g.bench_function("pm1_i8_buffered", |b| {
+        let s = Rademacher::<i8>::sampler(FastRng::new(7));
+        b.iter(|| black_box(sketch_alg3_signs(&a64, &cfg, &s)))
+    });
+    g.bench_function("pm1_f64_fused_xor", |b| {
+        let s = Rademacher::<f64>::sampler(FastRng::new(7));
+        b.iter(|| black_box(sketch_alg3(&a64, &cfg, &s)))
+    });
+    g.bench_function("unit_f64_fused", |b| {
+        let s = UnitUniform::<f64>::sampler(FastRng::new(7));
+        b.iter(|| black_box(sketch_alg3(&a64, &cfg, &s)))
+    });
+    g.bench_function("unit_f32", |b| {
+        let s = UnitUniform::<f32>::sampler(FastRng::new(7));
+        b.iter(|| black_box(sketch_alg3(&a32, &cfg, &s)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

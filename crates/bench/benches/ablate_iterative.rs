@@ -1,0 +1,39 @@
+//! Ablation: the iterative engine inside the pipeline — LSQR vs LSMR, with
+//! the diagonal and sketch-QR preconditioners.
+//!
+//! Run: `cargo bench -p bench --bench ablate_iterative`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::lsq::{tall_conditioned, CondSpec};
+use datagen::make_rhs;
+use lstsq::{
+    lsmr, lsqr, CscOp, DiagPrecond, LsmrOptions, LsqrOptions, PrecondOp,
+};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let a = tall_conditioned(6_000, 150, 5e-3, CondSpec::chain(2.3), 3);
+    let (b, _) = make_rhs(&a, 9);
+    let diag = DiagPrecond::from_col_norms(&a);
+
+    let mut g = c.benchmark_group("iterative_engine");
+    g.sample_size(10);
+    g.bench_function("lsqr_diag", |bch| {
+        bch.iter(|| {
+            let mut aop = CscOp::new(&a);
+            let mut op = PrecondOp::new(&mut aop, &diag);
+            black_box(lsqr(&mut op, &b, &LsqrOptions::default()))
+        })
+    });
+    g.bench_function("lsmr_diag", |bch| {
+        bch.iter(|| {
+            let mut aop = CscOp::new(&a);
+            let mut op = PrecondOp::new(&mut aop, &diag);
+            black_box(lsmr(&mut op, &b, &LsmrOptions::default()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

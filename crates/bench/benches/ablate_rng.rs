@@ -1,0 +1,66 @@
+//! Ablation: generator choice inside Algorithm 3 (§IV-B).
+//!
+//! Scalar xoshiro256++ vs interleaved AoS lanes vs SoA SIMD lanes vs the
+//! Philox counter-based generator vs the junk (RNG-free) upper bound — both
+//! the raw fill rate and the end-to-end kernel time.
+//!
+//! Run: `cargo bench -p bench --bench ablate_rng`
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rngkit::{
+    BlockRng, CheckpointRng, JunkSampler, Lanes, Philox4x32, SimdXoshiro256PP, UnitUniform,
+    Xoshiro256PlusPlus,
+};
+use sketchcore::{sketch_alg3, SketchConfig};
+use std::hint::black_box;
+
+fn raw_fill<R: BlockRng>(mut rng: R, out: &mut [u64]) {
+    rng.set_state(0, 1);
+    rng.fill_u64(out);
+}
+
+fn bench(c: &mut Criterion) {
+    // Raw generator throughput.
+    let mut g = c.benchmark_group("rng_fill_rate");
+    let mut buf = vec![0u64; 3_000];
+    g.throughput(Throughput::Elements(buf.len() as u64));
+    g.bench_function("scalar_xoshiro256pp", |b| {
+        b.iter(|| raw_fill(CheckpointRng::<Xoshiro256PlusPlus>::new(1), black_box(&mut buf)))
+    });
+    g.bench_function("lanes4_aos", |b| {
+        b.iter(|| raw_fill(Lanes::<Xoshiro256PlusPlus, 4>::new(1), black_box(&mut buf)))
+    });
+    g.bench_function("simd8_soa", |b| {
+        b.iter(|| raw_fill(SimdXoshiro256PP::<8>::new(1), black_box(&mut buf)))
+    });
+    g.bench_function("philox4x32_10", |b| {
+        b.iter(|| raw_fill(Philox4x32::new(1), black_box(&mut buf)))
+    });
+    g.finish();
+
+    // End-to-end Algorithm 3 with each generator (fixed distribution).
+    let a = datagen::uniform_random::<f64>(4_000, 400, 5e-3, 1);
+    let cfg = SketchConfig::new(1_200, 1_200, 200, 7);
+    let mut g = c.benchmark_group("alg3_by_generator");
+    g.sample_size(15);
+    g.bench_function("scalar_xoshiro", |b| {
+        let s = UnitUniform::<f64>::sampler(CheckpointRng::<Xoshiro256PlusPlus>::new(7));
+        b.iter(|| black_box(sketch_alg3(&a, &cfg, &s)))
+    });
+    g.bench_function("simd8_soa", |b| {
+        let s = UnitUniform::<f64>::sampler(SimdXoshiro256PP::<8>::new(7));
+        b.iter(|| black_box(sketch_alg3(&a, &cfg, &s)))
+    });
+    g.bench_function("philox_cbrng", |b| {
+        let s = UnitUniform::<f64>::sampler(Philox4x32::new(7));
+        b.iter(|| black_box(sketch_alg3(&a, &cfg, &s)))
+    });
+    g.bench_function("junk_upper_bound", |b| {
+        let s = JunkSampler::new(7);
+        b.iter(|| black_box(sketch_alg3(&a, &cfg, &s)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! CSB vs CSC SpMV — the related-work blocked sparse structure ([3] in the
+//! paper) on the `A·x` / `Aᵀ·x` ping-pong that dominates LSQR iterations.
+//!
+//! Run: `cargo bench -p bench --bench csb_spmv`
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sparsekit::CsbMatrix;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let a = datagen::uniform_random::<f64>(60_000, 2_000, 1e-3, 3);
+    let csb = CsbMatrix::from_csc(&a, 4096);
+    let x: Vec<f64> = (0..2_000).map(|i| (i as f64 * 0.31).sin()).collect();
+    let xt: Vec<f64> = (0..60_000).map(|i| (i as f64 * 0.17).cos()).collect();
+    let mut y = vec![0.0; 60_000];
+    let mut yt = vec![0.0; 2_000];
+
+    let mut g = c.benchmark_group("spmv");
+    g.throughput(Throughput::Elements(2 * a.nnz() as u64));
+    g.bench_function("csc_ax", |b| {
+        b.iter(|| {
+            a.spmv(&x, &mut y);
+            black_box(&y);
+        })
+    });
+    g.bench_function("csb_ax_seq", |b| {
+        b.iter(|| {
+            csb.spmv(&x, &mut y);
+            black_box(&y);
+        })
+    });
+    g.bench_function("csb_ax_par", |b| {
+        b.iter(|| {
+            csb.spmv_par(&x, &mut y);
+            black_box(&y);
+        })
+    });
+    g.bench_function("csc_atx", |b| {
+        b.iter(|| {
+            a.spmv_t(&xt, &mut yt);
+            black_box(&yt);
+        })
+    });
+    g.bench_function("csb_atx_par", |b| {
+        b.iter(|| {
+            csb.spmv_t_par(&xt, &mut yt);
+            black_box(&yt);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench for Figure 4: Algorithm 4 throughput under the five ways
+//! of producing entries of `S`, across a density sweep.
+//!
+//! Run: `cargo bench -p bench --bench fig4_distributions`
+
+use baselines::{materialize_s, pregen_blocked};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rngkit::{DistSampler, FastRng, Gaussian, Rademacher, ScaledInt, UnitUniform};
+use sketchcore::{flops, sketch_alg4, SketchConfig};
+use sparsekit::BlockedCsr;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (m, n) = (5_000, 500);
+    let d = 3 * n;
+    let cfg = SketchConfig::new(d, d, 200, 4);
+
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(12);
+    for rho in [1e-3, 1e-2] {
+        let a = datagen::uniform_random::<f64>(m, n, rho, 0xF16);
+        let blocked = BlockedCsr::from_csc(&a, cfg.b_n);
+        g.throughput(Throughput::Elements(flops(d, a.nnz())));
+
+        g.bench_with_input(BenchmarkId::new("gaussian_otf", rho), &rho, |b, _| {
+            let s = Gaussian::<f64>::sampler(FastRng::new(4));
+            b.iter(|| black_box(sketch_alg4(&blocked, &cfg, &s)))
+        });
+        let s_mat = materialize_s(&UnitUniform::<f64>::sampler(FastRng::new(4)), d, m, cfg.b_d);
+        g.bench_with_input(BenchmarkId::new("pregen_s", rho), &rho, |b, _| {
+            b.iter(|| black_box(pregen_blocked(&a, &s_mat, cfg.b_d, cfg.b_n)))
+        });
+        g.bench_with_input(BenchmarkId::new("unit_otf", rho), &rho, |b, _| {
+            let s = UnitUniform::<f64>::sampler(FastRng::new(4));
+            b.iter(|| black_box(sketch_alg4(&blocked, &cfg, &s)))
+        });
+        g.bench_with_input(BenchmarkId::new("scaling_trick", rho), &rho, |b, _| {
+            let s = DistSampler::new(ScaledInt::new(), FastRng::new(4));
+            b.iter(|| {
+                let mut out = sketch_alg4(&blocked, &cfg, &s);
+                out.scale(ScaledInt::SCALE);
+                black_box(out)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("pm1_otf", rho), &rho, |b, _| {
+            let s = Rademacher::<f64>::sampler(FastRng::new(4));
+            b.iter(|| black_box(sketch_alg4(&blocked, &cfg, &s)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for the §II-B design-space study: the six loop orderings
+//! of the toy kernel `G = L·R` with dense `L` and sparse `R`, quantifying
+//! why the paper keeps only `kji` (→ Alg 3) and `jki` (→ Alg 4).
+//!
+//! Run: `cargo bench -p bench --bench loop_orders`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use densekit::Matrix;
+use sketchcore::variants::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (d1, m1, n1) = (256, 2_000, 400);
+    let mut s = 1u64;
+    let l = Matrix::from_fn(d1, m1, |_, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((s >> 33) as f64) / (1u64 << 31) as f64 - 0.5
+    });
+    let r_csc = datagen::uniform_random::<f64>(m1, n1, 5e-3, 2);
+    let r_csr = r_csc.to_csr();
+
+    let mut g = c.benchmark_group("loop_orders");
+    g.sample_size(15);
+    g.bench_function("ikj", |b| b.iter(|| black_box(variant_ikj(&l, &r_csr))));
+    g.bench_function("kij", |b| b.iter(|| black_box(variant_kij(&l, &r_csc))));
+    g.bench_function("ijk", |b| b.iter(|| black_box(variant_ijk(&l, &r_csr))));
+    g.bench_function("jik", |b| b.iter(|| black_box(variant_jik(&l, &r_csr))));
+    g.bench_function("jki", |b| b.iter(|| black_box(variant_jki(&l, &r_csr))));
+    g.bench_function("kji", |b| b.iter(|| black_box(variant_kji(&l, &r_csc))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

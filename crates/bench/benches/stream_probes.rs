@@ -1,0 +1,46 @@
+//! §V-B machine probes as criterion benches: copy bandwidth, short-vector
+//! RNG rate, and the FMA peak proxy — the quantities whose ratio (the
+//! model's `h` and machine balance `B`) decides whether Algorithm 3 or 4
+//! wins on a given machine.
+//!
+//! Run: `cargo bench -p bench --bench stream_probes`
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rngkit::{BlockSampler, FastRng, UnitUniform};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Copy bandwidth (64 MiB, beyond LLC).
+    let n = 1 << 23;
+    let src = vec![1.0f64; n];
+    let mut dst = vec![0.0f64; n];
+    let mut g = c.benchmark_group("machine_probes");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((2 * 8 * n) as u64));
+    g.bench_function("copy_64MiB", |b| {
+        b.iter(|| {
+            dst.copy_from_slice(&src);
+            black_box(&dst);
+        })
+    });
+    g.finish();
+
+    // Short-vector RNG rate (length 10^4, the paper's probe).
+    let mut g = c.benchmark_group("rng_short_vectors");
+    let mut v = vec![0.0f64; 10_000];
+    g.throughput(Throughput::Elements(v.len() as u64));
+    g.bench_function("unit_uniform_len1e4", |b| {
+        let mut s = UnitUniform::<f64>::sampler(FastRng::new(3));
+        let mut col = 0usize;
+        b.iter(|| {
+            s.set_state(0, col);
+            col = col.wrapping_add(1);
+            s.fill(&mut v);
+            black_box(&v);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Table II: sequential Algorithm 3 (regeneration)
+//! against the materialized-`S` library-style baselines.
+//!
+//! Run: `cargo bench -p bench --bench table2_alg3_vs_libs`
+
+use baselines::{csc_outer, eigen_style, materialize_s, mkl_style};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rngkit::{FastRng, Rademacher, UnitUniform};
+use sketchcore::{sketch_alg3, SketchConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // shar_te2-b2 stand-in at 1/64 scale: fast enough for criterion's
+    // repeated sampling while still crossing block boundaries.
+    let suite = datagen::spmm_suite(64);
+    let nm = suite.iter().find(|p| p.name == "shar_te2-b2").unwrap();
+    let a = &nm.matrix;
+    let cfg = SketchConfig::new(nm.d, 3000.min(nm.d), 500.min(a.ncols()), 7);
+    let uni = UnitUniform::<f64>::sampler(FastRng::new(cfg.seed));
+    let pm1 = Rademacher::<f64>::sampler(FastRng::new(cfg.seed));
+    let s = materialize_s(&uni, cfg.d, a.nrows(), cfg.b_d);
+
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(20);
+    g.bench_function("mkl_style", |b| b.iter(|| black_box(mkl_style(a, &s))));
+    g.bench_function("eigen_style", |b| b.iter(|| black_box(eigen_style(a, &s))));
+    g.bench_function("julia_style", |b| b.iter(|| black_box(csc_outer(a, &s))));
+    g.bench_function("alg3_unit", |b| {
+        b.iter(|| black_box(sketch_alg3(a, &cfg, &uni)))
+    });
+    g.bench_function("alg3_pm1", |b| {
+        b.iter(|| black_box(sketch_alg3(a, &cfg, &pm1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for Table IV: Algorithm 4 with its blocked-CSR structure
+//! (including the conversion cost) against library-style baselines.
+//!
+//! Run: `cargo bench -p bench --bench table4_alg4_vs_libs`
+
+use baselines::{csc_outer, eigen_style, materialize_s};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rngkit::{FastRng, Rademacher, UnitUniform};
+use sketchcore::{sketch_alg4, SketchConfig};
+use sparsekit::BlockedCsr;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = datagen::spmm_suite(64);
+    let nm = suite.iter().find(|p| p.name == "mesh_deform").unwrap();
+    let a = &nm.matrix;
+    let cfg = SketchConfig::new(nm.d, 3000.min(nm.d), 1200.min(a.ncols()), 7);
+    let uni = UnitUniform::<f64>::sampler(FastRng::new(cfg.seed));
+    let pm1 = Rademacher::<f64>::sampler(FastRng::new(cfg.seed));
+    let s = materialize_s(&uni, cfg.d, a.nrows(), cfg.b_d);
+    let blocked = BlockedCsr::from_csc(a, cfg.b_n);
+
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(20);
+    g.bench_function("julia_style", |b| b.iter(|| black_box(csc_outer(a, &s))));
+    g.bench_function("eigen_style", |b| b.iter(|| black_box(eigen_style(a, &s))));
+    g.bench_function("alg4_unit", |b| {
+        b.iter(|| black_box(sketch_alg4(&blocked, &cfg, &uni)))
+    });
+    g.bench_function("alg4_pm1", |b| {
+        b.iter(|| black_box(sketch_alg4(&blocked, &cfg, &pm1)))
+    });
+    g.bench_function("format_conversion", |b| {
+        b.iter(|| black_box(BlockedCsr::from_csc(a, cfg.b_n)))
+    });
+    g.bench_function("format_conversion_parallel", |b| {
+        b.iter(|| black_box(BlockedCsr::from_csc_parallel(a, cfg.b_n)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

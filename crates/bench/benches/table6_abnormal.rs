@@ -1,0 +1,39 @@
+//! Criterion bench for Table VI: Algorithm 3 (pattern-oblivious) vs
+//! Algorithm 4 (pattern-sensitive) on the Abnormal_A/B/C layouts.
+//!
+//! Run: `cargo bench -p bench --bench table6_abnormal`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{abnormal_a, abnormal_b, abnormal_c};
+use rngkit::{FastRng, UnitUniform};
+use sketchcore::{sketch_alg3, sketch_alg4, SketchConfig};
+use sparsekit::BlockedCsr;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // 1/32-scale versions of the paper's m=100000, n=10000, stride=1000,
+    // with the blocking scaled alongside to preserve the b_n:stride ratio.
+    let (m, n, stride) = (3125, 312, 31);
+    let d = 3 * n;
+    let a_pat = abnormal_a::<f64>(m, n, stride, 1);
+    let b_pat = abnormal_b::<f64>(m, n, a_pat.nnz(), 2998.0 / 3000.0, 1);
+    let c_pat = abnormal_c::<f64>(m, n, stride, 1);
+    let cfg = SketchConfig::new(d, 94, 37, 5);
+    let sampler = UnitUniform::<f64>::sampler(FastRng::new(cfg.seed));
+
+    let mut g = c.benchmark_group("table6");
+    g.sample_size(15);
+    for (name, mat) in [("A", &a_pat), ("B", &b_pat), ("C", &c_pat)] {
+        g.bench_with_input(BenchmarkId::new("alg3", name), mat, |b, mat| {
+            b.iter(|| black_box(sketch_alg3(mat, &cfg, &sampler)))
+        });
+        let blocked = BlockedCsr::from_csc(mat, cfg.b_n);
+        g.bench_with_input(BenchmarkId::new("alg4", name), &blocked, |b, blk| {
+            b.iter(|| black_box(sketch_alg4(blk, &cfg, &sampler)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

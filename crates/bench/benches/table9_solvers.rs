@@ -1,0 +1,65 @@
+//! Criterion bench for Tables IX–XI: the three least-squares solvers on a
+//! rail-like stand-in (spread-spectrum conditioning).
+//!
+//! Run: `cargo bench -p bench --bench table9_solvers`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::lsq::{tall_conditioned, CondSpec};
+use datagen::make_rhs;
+use lstsq::{solve_lsqr_d, solve_sap, sparse_qr_solve, LsqrOptions, SapFlavor, SapOptions};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let a = tall_conditioned(8_000, 120, 5e-3, CondSpec::chain(2.4), 3);
+    let (b, _) = make_rhs(&a, 9);
+    let opts = LsqrOptions {
+        atol: 1e-14,
+        btol: 1e-14,
+        max_iters: 50_000,
+    };
+
+    let mut g = c.benchmark_group("table9");
+    g.sample_size(10);
+    g.bench_function("lsqr_d", |bch| {
+        bch.iter(|| black_box(solve_lsqr_d(&a, &b, &opts)))
+    });
+    g.bench_function("sap_qr", |bch| {
+        bch.iter(|| {
+            black_box(solve_sap(
+                &a,
+                &b,
+                &SapOptions {
+                    gamma: 2,
+                    b_d: 240,
+                    b_n: 60,
+                    seed: 4,
+                    flavor: SapFlavor::Qr,
+                    lsqr: opts,
+                },
+            ))
+        })
+    });
+    g.bench_function("sap_svd", |bch| {
+        bch.iter(|| {
+            black_box(solve_sap(
+                &a,
+                &b,
+                &SapOptions {
+                    gamma: 2,
+                    b_d: 240,
+                    b_n: 60,
+                    seed: 4,
+                    flavor: SapFlavor::Svd,
+                    lsqr: opts,
+                },
+            ))
+        })
+    });
+    g.bench_function("sparse_qr_direct", |bch| {
+        bch.iter(|| black_box(sparse_qr_solve(&a, &b)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <target> [--scale N] [--reps N] [--threads N]
+//!
+//! targets:
+//!   table1   SpMM test-matrix properties
+//!   table2   Alg 3 vs MKL/Eigen/Julia-style baselines (sequential)
+//!   table3   sample vs total time, Frontera blocking
+//!   table4   Alg 4 vs baselines + conversion time
+//!   table5   sample vs total time, Perlmutter blocking
+//!   table6   Abnormal_A/B/C exotic patterns
+//!   table7   thread-scaling sweep
+//!   table8   least-squares matrix properties
+//!   table9   solver runtimes + errors + memory (Tables IX, X, XI, Fig 6)
+//!   fig4     distribution study (% of peak vs density)
+//!   fig5     spy plots
+//!   roofline §III-A model report
+//!   junk     §V-A RNG-free upper bound
+//!   stream   §V-B machine probes
+//!   smoke    fast end-to-end consistency check
+//!   kernelchoice  pattern-aware Alg3/Alg4 predictor vs measurement
+//!   minnorm       underdetermined (minimum-norm) solve extension
+//!   distortion    sketch quality: σ(S·Q) vs the 1±1/√γ theory
+//!   all      everything above
+//! ```
+
+use bench::{extensions, figures, solvers, tables, RunConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table1..table9|fig4|fig5|fig6|roofline|junk|stream|smoke|kernelchoice|minnorm|distortion|all> [--scale N] [--reps N] [--threads N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let target = args[0].clone();
+    let mut rc = RunConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                rc.scale = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--reps" => {
+                rc.reps = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--threads" => {
+                rc.max_threads = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    println!(
+        "# repro {target} — scale 1/{}, reps {}, up to {} threads",
+        rc.scale, rc.reps, rc.max_threads
+    );
+
+    match target.as_str() {
+        "table1" => tables::table1(&rc),
+        "table2" => tables::table2(&rc),
+        "table3" => tables::table_sample_split(&rc, false),
+        "table4" => tables::table4(&rc),
+        "table5" => tables::table_sample_split(&rc, true),
+        "table6" => tables::table6(&rc),
+        "table7" => tables::table7(&rc),
+        "table8" => solvers::table8(&rc),
+        "table9" | "table10" | "table11" | "fig6" => solvers::tables9_to_11(&rc),
+        "fig4" => figures::fig4(&rc),
+        "fig5" => figures::fig5(&rc),
+        "roofline" => figures::roofline(),
+        "junk" => tables::junk_ablation(&rc),
+        "stream" => figures::stream(),
+        "kernelchoice" => extensions::kernel_choice(&rc),
+        "minnorm" => extensions::minnorm(&rc),
+        "distortion" => extensions::distortion(&rc),
+        "smoke" => {
+            let secs = tables::smoke();
+            println!("smoke check passed in {secs:.3}s: Alg3 ≡ Alg4 ≡ materialized baseline");
+        }
+        "all" => {
+            tables::table1(&rc);
+            tables::table2(&rc);
+            tables::table_sample_split(&rc, false);
+            tables::table4(&rc);
+            tables::table_sample_split(&rc, true);
+            tables::table6(&rc);
+            tables::table7(&rc);
+            solvers::table8(&rc);
+            solvers::tables9_to_11(&rc);
+            figures::fig4(&rc);
+            figures::fig5(&rc);
+            figures::roofline();
+            tables::junk_ablation(&rc);
+            figures::stream();
+            extensions::kernel_choice(&rc);
+            extensions::minnorm(&rc);
+            extensions::distortion(&rc);
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,73 @@
+//! Quick microbenchmark of raw generator fill rates (dev tool).
+use rngkit::{BlockRng, BlockSampler, CheckpointRng, Lanes, SimdXoshiro256PP, UnitUniform, Xoshiro256PlusPlus};
+use std::time::Instant;
+
+fn bench_fill<R: BlockRng>(name: &str, mut rng: R) {
+    let mut v = vec![0u64; 3000];
+    let reps = 20_000;
+    let t0 = Instant::now();
+    for i in 0..reps {
+        rng.set_state(0, i);
+        rng.fill_u64(&mut v);
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    std::hint::black_box(&v);
+    println!("{name:32} {:.3} ns/word", dt / (reps as f64 * 3000.0) * 1e9);
+}
+
+fn main() {
+    bench_fill("scalar xoshiro256++", CheckpointRng::<Xoshiro256PlusPlus>::new(1));
+    bench_fill("Lanes<4> AoS", Lanes::<Xoshiro256PlusPlus, 4>::new(1));
+    bench_fill("Lanes<8> AoS", Lanes::<Xoshiro256PlusPlus, 8>::new(1));
+    bench_fill("SimdXoshiro SoA<4>", SimdXoshiro256PP::<4>::new(1));
+    bench_fill("SimdXoshiro SoA<8>", SimdXoshiro256PP::<8>::new(1));
+    bench_fill("SimdXoshiro SoA<16>", SimdXoshiro256PP::<16>::new(1));
+    bench_fill("philox", rngkit::Philox4x32::new(1));
+
+    // Sampler-level: f64 unit uniform fill.
+    let mut s = UnitUniform::<f64>::sampler(SimdXoshiro256PP::<8>::new(1));
+    let mut v = vec![0.0f64; 3000];
+    let reps = 20_000;
+    let t0 = Instant::now();
+    for i in 0..reps {
+        s.set_state(0, i);
+        s.fill(&mut v);
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    std::hint::black_box(&v);
+    println!("{:32} {:.3} ns/sample", "UnitUniform<f64> over SoA<8>", dt / (reps as f64 * 3000.0) * 1e9);
+
+    // Emulate Algorithm 3's inner loop: per "nonzero", seek + fill + axpy.
+    let mut s = UnitUniform::<f64>::sampler(SimdXoshiro256PP::<8>::new(1));
+    let d1 = 3000usize;
+    let mut v = vec![0.0f64; d1];
+    let mut out = vec![0.0f64; d1];
+    let reps = 20_000usize;
+    let t0 = Instant::now();
+    for i in 0..reps {
+        s.set_state(0, i % 1000);
+        s.fill(&mut v);
+        let ajk = 1.25f64;
+        for (o, &x) in out.iter_mut().zip(v.iter()) {
+            *o = ajk.mul_add(x, *o);
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    std::hint::black_box(&out);
+    println!("{:32} {:.3} ns/sample", "fill+axpy emulation", dt / (reps as f64 * d1 as f64) * 1e9);
+
+    // axpy alone
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let ajk = 1.25f64;
+        for (o, &x) in out.iter_mut().zip(v.iter()) {
+            *o = ajk.mul_add(x, *o);
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    std::hint::black_box(&out);
+    println!("{:32} {:.3} ns/elt", "axpy alone", dt / (reps as f64 * d1 as f64) * 1e9);
+}
+
+#[allow(dead_code)]
+fn kernel_emulation() {}

@@ -1,0 +1,40 @@
+//! Developer profiling tool: per-sample sketch cost across blockings and
+//! matrix patterns. Numbers on this host carry up to ~3x hypervisor-steal
+//! noise; compare within one run only.
+
+fn main() {
+    use rngkit::{FastRng, UnitUniform};
+    use sketchcore::{sketch_alg3, sketch_alg3_par_cols, SketchConfig};
+    let suite = datagen::lsq_suite(8);
+    let p = &suite[1]; // spal_004
+    let a = &p.a;
+    let n = a.ncols();
+    let d = 2 * n;
+    println!("spal stand-in: {}x{} nnz {}", a.nrows(), n, a.nnz());
+    // Same dims, plain uniform pattern (no conditioning machinery).
+    let u = datagen::uniform_random::<f64>(a.nrows(), n, a.density(), 3);
+    for (label, mat) in [("spal-standin", a), ("uniform-same-dims", &u)] {
+        let cfg = SketchConfig::new(d, 3000, 500, 7);
+        let s = UnitUniform::<f64>::sampler(FastRng::new(7));
+        let t = std::time::Instant::now();
+        let x = sketch_alg3(mat, &cfg, &s);
+        let dt = t.elapsed().as_secs_f64();
+        std::hint::black_box(&x);
+        let samples = d as f64 * mat.nnz() as f64;
+        println!("{label:20}: {dt:.3}s ({:.2} ns/sample)", dt/samples*1e9);
+    }
+    for (b_d, b_n) in [(3000usize, 500usize)] {
+        let cfg = SketchConfig::new(d, b_d, b_n, 7);
+        let s = UnitUniform::<f64>::sampler(FastRng::new(7));
+        let t = std::time::Instant::now();
+        let x = sketch_alg3(a, &cfg, &s);
+        let dt = t.elapsed().as_secs_f64();
+        std::hint::black_box(&x);
+        let t2 = std::time::Instant::now();
+        let y = sketch_alg3_par_cols(a, &cfg, &s);
+        let dt2 = t2.elapsed().as_secs_f64();
+        std::hint::black_box(&y);
+        let samples = d as f64 * a.nnz() as f64;
+        println!("b_d={b_d:5} b_n={b_n:4}: seq {dt:.3}s ({:.2} ns/sample)  par_cols {dt2:.3}s", dt/samples*1e9);
+    }
+}

@@ -1,0 +1,126 @@
+//! Extension runners — features beyond the paper's tables that the paper
+//! names as future work or side notes: the pattern-aware kernel-choice
+//! model, the underdetermined (minimum-norm) solver, and sketch-quality
+//! (effective distortion) measurement.
+
+use crate::{fmt_g, fmt_s, print_table, time_median, RunConfig};
+use datagen::{abnormal_a, abnormal_b, abnormal_c};
+use lstsq::{solve_min_norm_sap, LsqrOptions};
+use rngkit::{FastRng, UnitUniform};
+use sketchcore::{predict_kernels, sketch_alg3, sketch_alg4, KernelCosts, SketchConfig};
+use sparsekit::BlockedCsr;
+
+/// Pattern-aware kernel choice (§VI future work): predict the Alg 3 / Alg 4
+/// winner per pattern from a one-pass profile, then measure both.
+pub fn kernel_choice(rc: &RunConfig) {
+    let m = (100_000 / rc.scale).max(1000);
+    let n = (10_000 / rc.scale).max(100);
+    let stride = (1000 / rc.scale).max(10);
+    let d = 3 * n;
+    let b_d = (3000 / rc.scale).max(32).min(d);
+    let b_n = (1200 / rc.scale).max(8).min(n);
+    let cfg = SketchConfig::new(d, b_d, b_n, 0xC0);
+    let sampler = UnitUniform::<f64>::sampler(FastRng::new(cfg.seed));
+    let costs = KernelCosts::default();
+
+    let a_pat = abnormal_a::<f64>(m, n, stride, 1);
+    let b_pat = abnormal_b::<f64>(m, n, a_pat.nnz(), 2998.0 / 3000.0, 1);
+    let c_pat = abnormal_c::<f64>(m, n, stride, 1);
+
+    let mut rows = Vec::new();
+    for (name, a) in [("Abnormal_A", &a_pat), ("Abnormal_B", &b_pat), ("Abnormal_C", &c_pat)] {
+        let pred = predict_kernels(a, d, b_n, &costs);
+        let t3 = time_median(rc.reps, || sketch_alg3(a, &cfg, &sampler));
+        let blocked = BlockedCsr::from_csc(a, b_n);
+        let t4 = time_median(rc.reps, || sketch_alg4(&blocked, &cfg, &sampler));
+        let measured_winner = if t4 < t3 { "Alg4" } else { "Alg3" };
+        let predicted_winner = if pred.prefer_alg4() { "Alg4" } else { "Alg3" };
+        rows.push(vec![
+            name.into(),
+            fmt_g(pred.alg3_samples as f64),
+            fmt_g(pred.alg4_samples as f64),
+            predicted_winner.into(),
+            fmt_s(t3),
+            fmt_s(t4),
+            measured_winner.into(),
+        ]);
+    }
+    print_table(
+        "Extension — pattern-aware kernel choice (predicted vs measured)",
+        &[
+            "pattern",
+            "alg3 samples",
+            "alg4 samples",
+            "model picks",
+            "alg3 (s)",
+            "alg4 (s)",
+            "measured winner",
+        ],
+        &rows,
+    );
+}
+
+/// Underdetermined minimum-norm solve via transpose sketching (footnote 2).
+pub fn minnorm(rc: &RunConfig) {
+    // A wide consistent system: transpose of a tall stand-in.
+    let tall = datagen::uniform_random::<f64>((40_000 / rc.scale).max(2000).max(600), 500, 3e-3, 7);
+    let tall = datagen::lsq::tall_conditioned(
+        tall.nrows().max(600),
+        500.min(tall.nrows() - 1),
+        3e-3,
+        datagen::lsq::CondSpec::chain(2.0),
+        7,
+    );
+    let a = tall.transpose(); // wide m×n, m < n
+    let x_any: Vec<f64> = (0..a.ncols()).map(|i| ((i % 13) as f64) / 6.0 - 1.0).collect();
+    let mut b = vec![0.0; a.nrows()];
+    a.spmv(&x_any, &mut b);
+
+    let rep = solve_min_norm_sap(&a, &b, 2, 3000, 500, 3, &LsqrOptions::default());
+    let norm_x: f64 = rep.x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let norm_any: f64 = x_any.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let mut ax = vec![0.0; a.nrows()];
+    a.spmv(&rep.x, &mut ax);
+    let feas: f64 = ax
+        .iter()
+        .zip(b.iter())
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt()
+        / b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    print_table(
+        "Extension — minimum-norm solve of a wide system by transpose sketching",
+        &["quantity", "value"],
+        &[
+            vec!["system".into(), format!("{}x{}", a.nrows(), a.ncols())],
+            vec!["iterations".into(), rep.iters.to_string()],
+            vec!["precond phase (s)".into(), fmt_s(rep.precond_s)],
+            vec!["total (s)".into(), fmt_s(rep.total_s)],
+            vec!["relative feasibility ‖Ax−b‖/‖b‖".into(), fmt_g(feas)],
+            vec!["‖x_min‖ / ‖x_particular‖".into(), fmt_g(norm_x / norm_any)],
+        ],
+    );
+}
+
+/// Sketch quality: singular-value range of `S·Q` for orthonormal `Q`
+/// (effective distortion, paper §IV-B2 / §V intro) across γ.
+pub fn distortion(rc: &RunConfig) {
+    let a = datagen::uniform_random::<f64>((20_000 / rc.scale).max(1500), 48, 0.01, 5);
+    let mut rows = Vec::new();
+    for gamma in [2usize, 3, 4, 8] {
+        let (smin, smax) = crate::solvers::sketch_distortion(&a, gamma, 11);
+        let eps = 1.0 / (gamma as f64).sqrt();
+        rows.push(vec![
+            gamma.to_string(),
+            fmt_g(smin),
+            fmt_g(smax),
+            format!("[{:.3}, {:.3}]", 1.0 - eps, 1.0 + eps),
+            fmt_g((smax / smin + 1.0) / (smax / smin - 1.0).max(1e-9)),
+        ]);
+    }
+    print_table(
+        "Extension — effective distortion of the sketch: σ(S·Q) vs theory 1±1/√γ",
+        &["γ", "σmin", "σmax", "theory range", "implied LSQR rate bound"],
+        &rows,
+    );
+}

@@ -1,0 +1,367 @@
+//! SpMM experiment runners — Tables I through VII.
+
+use crate::{fmt_g, fmt_s, gflops, print_table, time_median, RunConfig};
+use baselines::{csc_outer, eigen_style, materialize_s, mkl_style};
+use datagen::{abnormal_a, abnormal_b, abnormal_c, spmm_suite};
+use rngkit::{FastRng, Rademacher, UnitUniform};
+use sketchcore::{
+    sketch_alg3, sketch_alg3_instrumented, sketch_alg4, sketch_alg4_instrumented, SketchConfig,
+};
+use sketchcore::parallel::{sketch_alg3_par_rows, sketch_alg4_par_rows, with_threads};
+use sparsekit::{BlockedCsr, CscMatrix};
+use std::time::Instant;
+
+type Rng = FastRng;
+
+fn uni_sampler(seed: u64) -> rngkit::DistSampler<UnitUniform<f64>, Rng> {
+    UnitUniform::<f64>::sampler(Rng::new(seed))
+}
+
+fn sign_sampler(seed: u64) -> rngkit::DistSampler<Rademacher<f64>, Rng> {
+    // The fused ±1 path: each random bit flips the sign of A[j,k] with a
+    // bit-XOR — faster than materializing i8 signs (see `ablate_dtype`).
+    Rademacher::<f64>::sampler(Rng::new(seed))
+}
+
+/// Clamp the paper's blocking to the (scaled) problem dimensions.
+fn clamp_cfg(d: usize, b_d: usize, b_n: usize, n: usize, seed: u64) -> SketchConfig {
+    SketchConfig::new(d, b_d.min(d), b_n.min(n.max(1)), seed)
+}
+
+/// The paper's Frontera blocking (b_n=500, b_d=3000). Blocking is tuned to
+/// the cache hierarchy, which does not shrink with the matrices, so the
+/// paper's values are used verbatim (clamped to the problem dimensions).
+fn frontera_cfg(d: usize, n: usize, _scale: usize, seed: u64) -> SketchConfig {
+    clamp_cfg(d, 3000, 500, n, seed)
+}
+
+/// The paper's Perlmutter blocking (b_n=1200, b_d=3000), clamped.
+fn perlmutter_cfg(d: usize, n: usize, _scale: usize, seed: u64) -> SketchConfig {
+    clamp_cfg(d, 3000, 1200, n, seed)
+}
+
+/// Table I: properties of the SpMM stand-ins.
+pub fn table1(rc: &RunConfig) {
+    let suite = spmm_suite(rc.scale);
+    let rows: Vec<Vec<String>> = suite
+        .iter()
+        .map(|nm| {
+            vec![
+                nm.name.into(),
+                nm.d.to_string(),
+                nm.matrix.nrows().to_string(),
+                nm.matrix.ncols().to_string(),
+                nm.matrix.nnz().to_string(),
+                format!("{:.2e}", nm.matrix.density()),
+                format!(
+                    "{}x{} nnz {}",
+                    nm.paper.m, nm.paper.n, nm.paper.nnz
+                ),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Table I — SpMM test data (scale 1/{})", rc.scale),
+        &["matrix", "d", "m", "n", "nnz", "density", "paper (unscaled)"],
+        &rows,
+    );
+}
+
+/// Table II: sequential Algorithm 3 vs the materialized-S library kernels.
+pub fn table2(rc: &RunConfig) {
+    let suite = spmm_suite(rc.scale);
+    let mut rows = Vec::new();
+    for nm in &suite {
+        let a = &nm.matrix;
+        let cfg = frontera_cfg(nm.d, a.ncols(), rc.scale, 0xF0);
+        // Pre-generate S once (generation excluded from the library timings,
+        // exactly as in the paper).
+        let s = materialize_s(&uni_sampler(cfg.seed), cfg.d, a.nrows(), cfg.b_d);
+        let t_mkl = time_median(rc.reps, || mkl_style(a, &s));
+        let t_eigen = time_median(rc.reps, || eigen_style(a, &s));
+        let t_julia = time_median(rc.reps, || csc_outer(a, &s));
+        drop(s);
+        let t_a3u = time_median(rc.reps, || sketch_alg3(a, &cfg, &uni_sampler(cfg.seed)));
+        let t_a3s = time_median(rc.reps, || sketch_alg3(a, &cfg, &sign_sampler(cfg.seed)));
+        rows.push(vec![
+            nm.name.into(),
+            fmt_s(t_mkl),
+            fmt_s(t_eigen),
+            fmt_s(t_julia),
+            fmt_s(t_a3u),
+            fmt_s(t_a3s),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Table II — Algorithm 3 vs library baselines, sequential (scale 1/{}, seconds)",
+            rc.scale
+        ),
+        &["matrix", "MKL-style", "Eigen-style", "Julia-style", "Alg3 (-1,1)", "Alg3 (±1)"],
+        &rows,
+    );
+}
+
+/// Tables III & V: sample-time vs total-time split for both kernels.
+pub fn table_sample_split(rc: &RunConfig, perlmutter: bool) {
+    let suite = spmm_suite(rc.scale);
+    let mut rows = Vec::new();
+    for nm in &suite {
+        let a = &nm.matrix;
+        let cfg = if perlmutter {
+            perlmutter_cfg(nm.d, a.ncols(), rc.scale, 0xF1)
+        } else {
+            frontera_cfg(nm.d, a.ncols(), rc.scale, 0xF1)
+        };
+        let (_x3, t3) = sketch_alg3_instrumented(a, &cfg, &uni_sampler(cfg.seed));
+        let blocked = BlockedCsr::from_csc(a, cfg.b_n);
+        let (_x4, t4) = sketch_alg4_instrumented(&blocked, &cfg, &uni_sampler(cfg.seed));
+        rows.push(vec![
+            nm.name.into(),
+            "Alg3".into(),
+            fmt_s(t3.total_s),
+            fmt_s(t3.sample_s),
+            t3.samples.to_string(),
+        ]);
+        rows.push(vec![
+            nm.name.into(),
+            "Alg4".into(),
+            fmt_s(t4.total_s),
+            fmt_s(t4.sample_s),
+            t4.samples.to_string(),
+        ]);
+    }
+    let which = if perlmutter {
+        "Table V — Perlmutter blocking (b_n=1200 scaled)"
+    } else {
+        "Table III — Frontera blocking (b_n=500 scaled)"
+    };
+    print_table(
+        &format!("{which}: sample vs total time (scale 1/{}, seconds)", rc.scale),
+        &["matrix", "algorithm", "total", "sample", "samples drawn"],
+        &rows,
+    );
+}
+
+/// Table IV: Algorithm 4 vs library baselines, with format-conversion time.
+pub fn table4(rc: &RunConfig) {
+    let suite = spmm_suite(rc.scale);
+    let mut rows = Vec::new();
+    for nm in &suite {
+        let a = &nm.matrix;
+        let cfg = perlmutter_cfg(nm.d, a.ncols(), rc.scale, 0xF2);
+        let s = materialize_s(&uni_sampler(cfg.seed), cfg.d, a.nrows(), cfg.b_d);
+        let t_julia = time_median(rc.reps, || csc_outer(a, &s));
+        let t_eigen = time_median(rc.reps, || eigen_style(a, &s));
+        drop(s);
+        let t_conv = time_median(rc.reps, || BlockedCsr::from_csc(a, cfg.b_n));
+        let blocked = BlockedCsr::from_csc(a, cfg.b_n);
+        let t_a4u = time_median(rc.reps, || sketch_alg4(&blocked, &cfg, &uni_sampler(cfg.seed)));
+        let t_a4s =
+            time_median(rc.reps, || sketch_alg4(&blocked, &cfg, &sign_sampler(cfg.seed)));
+        rows.push(vec![
+            nm.name.into(),
+            fmt_s(t_julia),
+            fmt_s(t_eigen),
+            fmt_s(t_a4u),
+            fmt_s(t_a4s),
+            fmt_s(t_conv),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Table IV — Algorithm 4 vs library baselines (scale 1/{}, seconds)",
+            rc.scale
+        ),
+        &["matrix", "Julia-style", "Eigen-style", "Alg4 (-1,1)", "Alg4 (±1)", "conversion"],
+        &rows,
+    );
+}
+
+/// Table VI: the Abnormal_A/B/C exotic patterns.
+pub fn table6(rc: &RunConfig) {
+    // Paper: m = 100000, n = 10000, ρ ≈ 1e-3, every 1000th row/col dense.
+    let m = (100_000 / rc.scale).max(1000);
+    let n = (10_000 / rc.scale).max(100);
+    let stride = (1000 / rc.scale).max(10);
+    let d = 3 * n;
+    let a_pat = abnormal_a::<f64>(m, n, stride, 0xAB);
+    let b_pat = abnormal_b::<f64>(m, n, a_pat.nnz(), 2998.0 / 3000.0, 0xAB);
+    let c_pat = abnormal_c::<f64>(m, n, stride, 0xAB);
+    // This experiment probes the *interaction* between the blocking geometry
+    // and the pattern (paper: b_n=1200 against a dense column every 1000),
+    // so here — unlike the cache-bound Tables II-V — the blocking must scale
+    // with the pattern to preserve the b_n-to-stride ratio.
+    let cfg = clamp_cfg(
+        d,
+        (3000 / rc.scale).max(32),
+        (1200 / rc.scale).max(8),
+        n,
+        0xF3,
+    );
+
+    let mut rows = Vec::new();
+    for (name, a) in [("Abnormal_A", &a_pat), ("Abnormal_B", &b_pat), ("Abnormal_C", &c_pat)] {
+        let t3 = time_median(rc.reps, || sketch_alg3(a, &cfg, &uni_sampler(cfg.seed)));
+        let t_conv = time_median(rc.reps, || BlockedCsr::from_csc(a, cfg.b_n));
+        let blocked = BlockedCsr::from_csc(a, cfg.b_n);
+        let t4 = time_median(rc.reps, || sketch_alg4(&blocked, &cfg, &uni_sampler(cfg.seed)));
+        rows.push(vec![name.into(), "Alg3".into(), "N/A".into(), fmt_s(t3)]);
+        rows.push(vec![name.into(), "Alg4".into(), fmt_s(t_conv), fmt_s(t4)]);
+    }
+    print_table(
+        &format!(
+            "Table VI — exotic sparsity patterns, m={m} n={n} stride={stride} (seconds)"
+        ),
+        &["problem", "algorithm", "conversion", "compute"],
+        &rows,
+    );
+}
+
+/// Table VII: thread scaling of Algorithms 3 and 4 under two blockings.
+pub fn table7(rc: &RunConfig) {
+    // The paper scales shar_te2-b2 on Frontera up to 32 threads with two
+    // blocking setups; setup2 is the more rectangular (larger b_d, smaller
+    // b_n) and scales better (§V-B heuristic).
+    let suite = spmm_suite(rc.scale);
+    let nm = suite
+        .iter()
+        .find(|p| p.name == "shar_te2-b2")
+        .expect("suite contains shar_te2-b2");
+    let a = &nm.matrix;
+    let d = nm.d;
+    let setup1 = clamp_cfg(d, (1000 / rc.scale).max(16), (2000 / rc.scale).max(64), a.ncols(), 7);
+    let setup2 = clamp_cfg(d, (3000 / rc.scale).max(64), (500 / rc.scale).max(16), a.ncols(), 7);
+    let nnz = a.nnz();
+
+    let mut threads = Vec::new();
+    let mut t = 1;
+    while t <= rc.max_threads {
+        threads.push(t);
+        t *= 2;
+    }
+
+    let mut rows = Vec::new();
+    for &t in &threads {
+        let mut cells = vec![t.to_string()];
+        for cfg in [&setup1, &setup2] {
+            let blocked = BlockedCsr::from_csc(a, cfg.b_n);
+            let t4 = time_median(rc.reps, || {
+                with_threads(t, || sketch_alg4_par_rows(&blocked, cfg, &uni_sampler(cfg.seed)))
+            });
+            let t3 = time_median(rc.reps, || {
+                with_threads(t, || sketch_alg3_par_rows(a, cfg, &uni_sampler(cfg.seed)))
+            });
+            cells.push(fmt_s(t4));
+            cells.push(fmt_g(gflops(d, nnz, t4)));
+            cells.push(fmt_s(t3));
+            cells.push(fmt_g(gflops(d, nnz, t3)));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        &format!(
+            "Table VII — parallel scaling on shar_te2-b2 stand-in (scale 1/{}; host has {} hardware threads)",
+            rc.scale, rc.max_threads
+        ),
+        &[
+            "threads",
+            "Alg4 s1 (s)",
+            "Alg4 s1 GF/s",
+            "Alg3 s1 (s)",
+            "Alg3 s1 GF/s",
+            "Alg4 s2 (s)",
+            "Alg4 s2 GF/s",
+            "Alg3 s2 (s)",
+            "Alg3 s2 GF/s",
+        ],
+        &rows,
+    );
+    if rc.max_threads == 1 {
+        println!(
+            "note: this host has a single hardware thread; the sweep runs the \
+             parallel drivers but cannot exhibit physical speedup (see EXPERIMENTS.md)."
+        );
+    }
+}
+
+/// The §V-A junk-RNG upper bound: replace random entries with trivially
+/// computed values and report the speedup (paper saw ~2x on shar_te2-b2).
+pub fn junk_ablation(rc: &RunConfig) {
+    let suite = spmm_suite(rc.scale);
+    let nm = suite
+        .iter()
+        .find(|p| p.name == "shar_te2-b2")
+        .expect("suite contains shar_te2-b2");
+    let a = &nm.matrix;
+    let cfg = frontera_cfg(nm.d, a.ncols(), rc.scale, 3);
+    let t_rng = time_median(rc.reps, || sketch_alg3(a, &cfg, &uni_sampler(cfg.seed)));
+    let t_junk = time_median(rc.reps, || {
+        sketch_alg3(a, &cfg, &rngkit::JunkSampler::new(cfg.seed))
+    });
+    print_table(
+        "§V-A junk ablation — RNG-free upper bound on shar_te2-b2 stand-in",
+        &["variant", "seconds", "speedup over RNG"],
+        &[
+            vec!["xoshiro (-1,1)".into(), fmt_s(t_rng), "1.00".into()],
+            vec!["junk entries".into(), fmt_s(t_junk), fmt_g(t_rng / t_junk)],
+        ],
+    );
+}
+
+/// Sanity helper shared by integration tests: a small matrix plus config.
+pub fn toy_problem() -> (CscMatrix<f64>, SketchConfig) {
+    let a = datagen::uniform_random::<f64>(400, 120, 5e-3, 42);
+    let cfg = SketchConfig::new(360, 64, 30, 42);
+    (a, cfg)
+}
+
+/// Timed end-to-end smoke run used by `repro smoke` and tests: checks that
+/// every kernel agrees on a toy problem and returns the elapsed seconds.
+pub fn smoke() -> f64 {
+    let t0 = Instant::now();
+    let (a, cfg) = toy_problem();
+    let sampler = uni_sampler(cfg.seed);
+    let x3 = sketch_alg3(&a, &cfg, &sampler);
+    let blocked = BlockedCsr::from_csc(&a, cfg.b_n);
+    let x4 = sketch_alg4(&blocked, &cfg, &sampler);
+    let s = materialize_s(&sampler, cfg.d, a.nrows(), cfg.b_d);
+    let xm = mkl_style(&a, &s);
+    assert!(x3.diff_norm(&x4) < 1e-10 * x3.fro_norm().max(1.0));
+    assert!(x3.diff_norm(&xm) < 1e-10 * x3.fro_norm().max(1.0));
+    t0.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_agrees() {
+        let secs = smoke();
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn configs_respect_dimensions() {
+        let cfg = frontera_cfg(30, 10, 1, 0);
+        assert!(cfg.b_n <= 10 || cfg.b_n == 16); // clamped to n or floor
+        let cfg2 = clamp_cfg(100, 1000, 1000, 50, 0);
+        assert_eq!(cfg2.b_d, 100);
+        assert_eq!(cfg2.b_n, 50);
+    }
+
+    #[test]
+    fn tables_run_at_tiny_scale() {
+        // Smoke-run the printable tables at scale 1/256 to keep CI fast.
+        let rc = RunConfig {
+            scale: 256,
+            max_threads: 1,
+            reps: 1,
+        };
+        table1(&rc);
+        table2(&rc);
+        table_sample_split(&rc, false);
+        table4(&rc);
+    }
+}

@@ -1,0 +1,180 @@
+//! The exotic sparsity patterns of paper Table VI.
+//!
+//! All three have the same dimensions and comparable density but radically
+//! different layouts, exposing Algorithm 4's sensitivity to patterns whose
+//! nonzeros concentrate in columns (Abnormal_C) versus rows (Abnormal_A):
+//!
+//! * **Abnormal_A** — every `stride`-th row is dense, all other rows zero.
+//!   Ideal for Algorithm 4: few nonempty rows → few regenerated columns of
+//!   `S`, each reused across an entire dense row.
+//! * **Abnormal_B** — almost all nonzeros concentrated in the middle-third
+//!   vertical block (the paper puts ≈ 2998/3000 of them there).
+//! * **Abnormal_C** — every `stride`-th column dense, all other columns
+//!   zero. Worst case for Algorithm 4: every row of every touched block is
+//!   nonempty but holds a single entry, so nothing is reused.
+
+use rngkit::{BlockRng, CheckpointRng, Xoshiro256PlusPlus};
+use sparsekit::{CooMatrix, CscMatrix, Scalar};
+
+fn unit<T: Scalar, R: BlockRng>(rng: &mut R) -> T {
+    T::from_f64(rngkit::u64_to_unit_f64(rng.next_u64()))
+}
+
+/// Every `stride`-th row dense (rows `0, stride, 2·stride, …`), others zero.
+pub fn abnormal_a<T: Scalar>(m: usize, n: usize, stride: usize, seed: u64) -> CscMatrix<T> {
+    assert!(stride > 0, "stride must be positive");
+    let mut rng = CheckpointRng::<Xoshiro256PlusPlus>::new(seed);
+    let dense_rows: Vec<usize> = (0..m).step_by(stride).collect();
+    let mut col_ptr = Vec::with_capacity(n + 1);
+    col_ptr.push(0);
+    let mut row_idx = Vec::with_capacity(dense_rows.len() * n);
+    let mut values = Vec::with_capacity(dense_rows.len() * n);
+    for j in 0..n {
+        rng.set_state(0, j);
+        for &r in &dense_rows {
+            row_idx.push(r);
+            values.push(unit::<T, _>(&mut rng));
+        }
+        col_ptr.push(row_idx.len());
+    }
+    CscMatrix::from_parts_unchecked(m, n, col_ptr, row_idx, values)
+}
+
+/// Nonzeros overwhelmingly concentrated in the middle-third vertical block:
+/// `concentration` of the total mass lands in columns `[n/3, 2n/3)`, the
+/// remainder is uniform over the rest (paper: 2998/3000 ≈ 0.99933).
+pub fn abnormal_b<T: Scalar>(
+    m: usize,
+    n: usize,
+    total_nnz: usize,
+    concentration: f64,
+    seed: u64,
+) -> CscMatrix<T> {
+    assert!((0.0..=1.0).contains(&concentration));
+    assert!(n >= 3, "need at least 3 columns for a middle third");
+    let mut rng = CheckpointRng::<Xoshiro256PlusPlus>::new(seed);
+    rng.set_state(0, 0);
+    let mid_lo = n / 3;
+    let mid_hi = 2 * n / 3;
+    let mid_nnz = (total_nnz as f64 * concentration) as usize;
+    let out_nnz = total_nnz - mid_nnz;
+
+    let mut coo = CooMatrix::with_capacity(m, n, total_nnz);
+    let mut seen = std::collections::HashSet::with_capacity(total_nnz * 2);
+    let mid_cap = m * (mid_hi - mid_lo);
+    let mut placed = 0usize;
+    while placed < mid_nnz.min(mid_cap) {
+        let r = (rng.next_u64() % m as u64) as usize;
+        let c = mid_lo + (rng.next_u64() % (mid_hi - mid_lo) as u64) as usize;
+        if seen.insert((r, c)) {
+            coo.push_unchecked(r, c, unit::<T, _>(&mut rng));
+            placed += 1;
+        }
+    }
+    let outside = n - (mid_hi - mid_lo);
+    let out_cap = m * outside;
+    placed = 0;
+    while placed < out_nnz.min(out_cap) {
+        let r = (rng.next_u64() % m as u64) as usize;
+        let mut c = (rng.next_u64() % outside as u64) as usize;
+        if c >= mid_lo {
+            c += mid_hi - mid_lo;
+        }
+        if seen.insert((r, c)) {
+            coo.push_unchecked(r, c, unit::<T, _>(&mut rng));
+            placed += 1;
+        }
+    }
+    coo.to_csc().expect("generated indices are in bounds")
+}
+
+/// Every `stride`-th column dense (columns `0, stride, …`), others zero.
+pub fn abnormal_c<T: Scalar>(m: usize, n: usize, stride: usize, seed: u64) -> CscMatrix<T> {
+    assert!(stride > 0, "stride must be positive");
+    let mut rng = CheckpointRng::<Xoshiro256PlusPlus>::new(seed);
+    let mut col_ptr = Vec::with_capacity(n + 1);
+    col_ptr.push(0);
+    let mut row_idx = Vec::new();
+    let mut values = Vec::new();
+    for j in 0..n {
+        if j % stride == 0 {
+            rng.set_state(1, j);
+            for r in 0..m {
+                row_idx.push(r);
+                values.push(unit::<T, _>(&mut rng));
+            }
+        }
+        col_ptr.push(row_idx.len());
+    }
+    CscMatrix::from_parts_unchecked(m, n, col_ptr, row_idx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abnormal_a_structure() {
+        let a = abnormal_a::<f64>(100, 20, 10, 1);
+        // 10 dense rows × 20 cols.
+        assert_eq!(a.nnz(), 10 * 20);
+        assert_eq!(a.empty_rows().len(), 90);
+        assert!(a.empty_cols().is_empty());
+        assert!(!(a.get(0, 0) == 0.0));
+        assert_eq!(a.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn abnormal_c_structure() {
+        let a = abnormal_c::<f64>(50, 30, 10, 2);
+        // Columns 0, 10, 20 dense.
+        assert_eq!(a.nnz(), 3 * 50);
+        assert_eq!(a.empty_cols().len(), 27);
+        assert!(a.empty_rows().is_empty());
+        assert_eq!(a.col_nnz(0), 50);
+        assert_eq!(a.col_nnz(1), 0);
+    }
+
+    #[test]
+    fn abnormal_b_concentration() {
+        let (m, n, nnz) = (1000, 300, 30_000);
+        let a = abnormal_b::<f64>(m, n, nnz, 0.999, 3);
+        let mid_lo = n / 3;
+        let mid_hi = 2 * n / 3;
+        let mid_count: usize = (mid_lo..mid_hi).map(|j| a.col_nnz(j)).sum();
+        let frac = mid_count as f64 / a.nnz() as f64;
+        assert!(frac > 0.99, "middle-block fraction {frac}");
+        // Duplicate collisions shrink nnz slightly but not drastically.
+        assert!(a.nnz() > nnz * 9 / 10);
+    }
+
+    #[test]
+    fn comparable_density_across_patterns() {
+        // Scaled-down versions of the paper's m=100000, n=10000, ρ≈1e-3.
+        let (m, n, stride) = (10_000, 1_000, 100);
+        let a = abnormal_a::<f64>(m, n, stride, 1);
+        let c = abnormal_c::<f64>(m, n, stride, 1);
+        let b = abnormal_b::<f64>(m, n, a.nnz(), 2998.0 / 3000.0, 1);
+        let target = 1.0 / stride as f64;
+        for (name, mtx) in [("A", &a), ("B", &b), ("C", &c)] {
+            let rel = (mtx.density() - target).abs() / target;
+            assert!(rel < 0.15, "pattern {name} density {}", mtx.density());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(abnormal_a::<f64>(50, 10, 5, 9), abnormal_a::<f64>(50, 10, 5, 9));
+        assert_eq!(
+            abnormal_b::<f64>(50, 12, 100, 0.9, 9),
+            abnormal_b::<f64>(50, 12, 100, 0.9, 9)
+        );
+        assert_eq!(abnormal_c::<f64>(50, 10, 5, 9), abnormal_c::<f64>(50, 10, 5, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        let _ = abnormal_a::<f64>(10, 10, 0, 0);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # datagen — synthetic test matrices for the paper's experiments
+//!
+//! The paper evaluates on SuiteSparse collection matrices (Tables I and
+//! VIII) that are not redistributable inside this repository and on
+//! synthetic "abnormal" patterns (Table VI). This crate generates:
+//!
+//! * [`uniform`] — iid-uniform sparsity at a prescribed density, the §III-A
+//!   model's input and Figure 4's workload;
+//! * [`abnormal`] — the Abnormal_A/B/C patterns of Table VI (dense rows /
+//!   middle-block concentration / dense columns);
+//! * [`suite`] — named stand-ins for the Table I SpMM matrices, matching
+//!   their dimensions, nnz, per-row structure (most are simplicial-boundary
+//!   matrices with a constant number of ±1 entries per row) at a
+//!   configurable scale factor;
+//! * [`lsq`] — stand-ins for the Table VIII least-squares matrices with the
+//!   published aspect ratios, densities and conditioning *mechanisms*
+//!   (benign, badly column-scaled, or genuinely near rank-deficient);
+//! * [`rhs`] — right-hand-side construction, `b = A·x + ε` with `ε ~ N(0,I)`
+//!   (paper §V-C).
+//!
+//! All generators are deterministic in their seed. Real Matrix Market files
+//! can be substituted via `sparsekit::io` when available; the harnesses take
+//! either source.
+
+pub mod abnormal;
+pub mod lsq;
+pub mod rhs;
+pub mod suite;
+pub mod uniform;
+
+pub use abnormal::{abnormal_a, abnormal_b, abnormal_c};
+pub use lsq::{lsq_suite, tall_conditioned, CondKind, CondSpec, LsqProblem};
+pub use rhs::make_rhs;
+pub use suite::{spmm_suite, NamedMatrix};
+pub use uniform::uniform_random;

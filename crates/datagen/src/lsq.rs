@@ -1,0 +1,415 @@
+//! Stand-ins for the paper's Table VIII least-squares matrices.
+//!
+//! The seven originals span three conditioning regimes, and the stand-ins
+//! reproduce each regime's *mechanism* (not just a number), because the
+//! mechanism is what differentiates the solvers in Tables IX–XI. Three
+//! independent knobs are composed per matrix:
+//!
+//! * **chain** — right-multiplication by the bidiagonal `W = bidiag(1, c)`:
+//!   column `j` becomes `colⱼ + c·colⱼ₋₁`. `W`'s spectrum is a *continuum*
+//!   spanning `[1−c, 1+c]`, so `cond(A·W) ≈ (1+c)/(1−c)` resists diagonal
+//!   equilibration and forces LSQR-D into its slow spread-spectrum regime —
+//!   exactly the rail matrices' behaviour (cond(AD) ≈ 200–350, thousands of
+//!   iterations).
+//! * **scale** — geometric column scaling over `k` orders of magnitude:
+//!   inflates `cond(A)` in a way equilibration *removes* (`spal_004`,
+//!   `specular`: cond 4e4/2e14 collapsing to 1e3/30 after scaling).
+//! * **dup** — near-duplicate column pairs at relative distance `ε`:
+//!   numerical rank deficiency no scaling fixes (`connectus`, `landmark`:
+//!   cond ~1e16–1e18 before *and* after equilibration) — the SAP-SVD regime.
+//!
+//! Matrices whose original orientation is wide (`rail*`, `connectus`) are
+//! generated directly in the transposed (tall) orientation, as the paper
+//! transposes them before solving.
+
+use crate::uniform::uniform_random;
+use rngkit::{BlockRng, CheckpointRng, Xoshiro256PlusPlus};
+use sparsekit::{CscMatrix, Scalar};
+
+/// Conditioning regime of a stand-in (drives the suite's knob choices).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CondKind {
+    /// Spread-spectrum conditioning that equilibration roughly preserves.
+    Benign,
+    /// Ill-conditioning dominated by uneven column norms; fixed by
+    /// equilibration.
+    ColumnScaled,
+    /// Numerically dependent columns; equilibration does not help.
+    RankDeficient,
+}
+
+/// Conditioning recipe: the three composable mechanisms.
+#[derive(Clone, Copy, Debug)]
+pub struct CondSpec {
+    /// log10 of the chain conditioning target (0 = no chain). Sets the
+    /// equilibration-resistant part of the spectrum: `cond(AD) ≈ 10^x`.
+    pub chain_cond_log10: f64,
+    /// Orders of magnitude of geometric column scaling (0 = none).
+    pub scale_orders: f64,
+    /// Relative distance `10^-x` of near-duplicate column pairs
+    /// (0 = none; ≥ 12 gives numerical rank deficiency at f64 precision).
+    pub dup_eps_log10: f64,
+}
+
+impl CondSpec {
+    /// No conditioning mechanism: a plain well-conditioned sparse matrix.
+    pub const WELL: CondSpec = CondSpec {
+        chain_cond_log10: 0.0,
+        scale_orders: 0.0,
+        dup_eps_log10: 0.0,
+    };
+
+    /// Spread-spectrum chain only (the rails' regime).
+    pub fn chain(cond_log10: f64) -> Self {
+        CondSpec {
+            chain_cond_log10: cond_log10,
+            ..Self::WELL
+        }
+    }
+
+    /// Column scaling over `orders`, with a mild chain of `cond_log10`.
+    pub fn scaled(orders: f64, cond_log10: f64) -> Self {
+        CondSpec {
+            chain_cond_log10: cond_log10,
+            scale_orders: orders,
+            dup_eps_log10: 0.0,
+        }
+    }
+
+    /// Rank-deficiency via duplicates at 10^-eps, plus a mild chain.
+    pub fn deficient(eps_log10: f64, cond_log10: f64) -> Self {
+        CondSpec {
+            chain_cond_log10: cond_log10,
+            scale_orders: 0.0,
+            dup_eps_log10: eps_log10,
+        }
+    }
+}
+
+/// Published Table VIII properties (original orientation, before transpose).
+#[derive(Clone, Copy, Debug)]
+pub struct LsqPaperRow {
+    /// Matrix name in the paper.
+    pub name: &'static str,
+    /// Original rows.
+    pub rows: usize,
+    /// Original columns.
+    pub cols: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Published cond(A).
+    pub cond: f64,
+    /// Published cond(A·D) after diagonal equilibration.
+    pub cond_ad: f64,
+    /// Conditioning mechanism (inferred from the cond / cond(AD) pair).
+    pub kind: CondKind,
+    /// Whether the paper uses the QR (true) or SVD (false) flavour of SAP.
+    pub sap_qr: bool,
+}
+
+/// The seven least-squares matrices of Table VIII.
+pub const TABLE8: [LsqPaperRow; 7] = [
+    LsqPaperRow { name: "rail2586", rows: 2586, cols: 923269, nnz: 8011362, cond: 496.0, cond_ad: 263.44, kind: CondKind::Benign, sap_qr: true },
+    LsqPaperRow { name: "spal_004", rows: 10203, cols: 321696, nnz: 46168124, cond: 39389.87, cond_ad: 1147.79, kind: CondKind::ColumnScaled, sap_qr: true },
+    LsqPaperRow { name: "rail4284", rows: 4284, cols: 1096894, nnz: 11284032, cond: 399.78, cond_ad: 333.87, kind: CondKind::Benign, sap_qr: true },
+    LsqPaperRow { name: "rail582", rows: 582, cols: 56097, nnz: 402290, cond: 185.91, cond_ad: 180.49, kind: CondKind::Benign, sap_qr: true },
+    LsqPaperRow { name: "specular", rows: 477976, cols: 1442, nnz: 7647040, cond: 2.31e14, cond_ad: 29.85, kind: CondKind::ColumnScaled, sap_qr: false },
+    LsqPaperRow { name: "connectus", rows: 458, cols: 394792, nnz: 1127525, cond: 1.27e16, cond_ad: 1.28e16, kind: CondKind::RankDeficient, sap_qr: false },
+    LsqPaperRow { name: "landmark", rows: 71952, cols: 2704, nnz: 1146848, cond: 1.39e18, cond_ad: 2.30e17, kind: CondKind::RankDeficient, sap_qr: false },
+];
+
+/// A generated least-squares problem.
+pub struct LsqProblem {
+    /// Name of the original matrix.
+    pub name: &'static str,
+    /// Tall data matrix (already transposed when the original is wide).
+    pub a: CscMatrix<f64>,
+    /// Published properties.
+    pub paper: LsqPaperRow,
+    /// The recipe used to generate the stand-in.
+    pub spec: CondSpec,
+}
+
+impl LsqProblem {
+    /// Tall dimensions `(m, n)` with `m ≥ n`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.a.nrows(), self.a.ncols())
+    }
+}
+
+/// Generate a tall stand-in with the given conditioning recipe.
+pub fn tall_conditioned(
+    m: usize,
+    n: usize,
+    density: f64,
+    spec: CondSpec,
+    seed: u64,
+) -> CscMatrix<f64> {
+    assert!(m >= n, "stand-ins are tall: m >= n");
+    // The chain doubles per-column nnz; compensate to hit the target density.
+    let base_density = if spec.chain_cond_log10 > 0.0 {
+        density / 2.0
+    } else {
+        density
+    };
+    let mut a = uniform_random::<f64>(m, n, base_density, seed);
+    a = ensure_structural_rank(a, seed ^ 0x5EED);
+    if spec.chain_cond_log10 > 0.0 {
+        let kappa = 10f64.powf(spec.chain_cond_log10);
+        let c = (kappa - 1.0) / (kappa + 1.0);
+        a = chain_columns(&a, c);
+    }
+    if spec.scale_orders > 0.0 {
+        a = scale_columns_geometric(&a, spec.scale_orders);
+    }
+    if spec.dup_eps_log10 > 0.0 {
+        a = duplicate_columns(&a, 10f64.powf(-spec.dup_eps_log10), seed ^ 0xDEF1);
+    }
+    a
+}
+
+/// `A ← A·W` with `W = bidiag(1, c)`: column `j` becomes `colⱼ + c·colⱼ₋₁`.
+fn chain_columns(a: &CscMatrix<f64>, c: f64) -> CscMatrix<f64> {
+    let (m, n) = (a.nrows(), a.ncols());
+    let mut col_ptr = Vec::with_capacity(n + 1);
+    col_ptr.push(0usize);
+    let mut row_idx = Vec::with_capacity(2 * a.nnz());
+    let mut values = Vec::with_capacity(2 * a.nnz());
+    for j in 0..n {
+        let (rows, vals) = a.col(j);
+        if j == 0 {
+            row_idx.extend_from_slice(rows);
+            values.extend_from_slice(vals);
+        } else {
+            // Sparse merge of col_j and c·col_{j-1}.
+            let (prows, pvals) = a.col(j - 1);
+            let (mut ia, mut ib) = (0usize, 0usize);
+            while ia < rows.len() || ib < prows.len() {
+                let ra = rows.get(ia).copied().unwrap_or(usize::MAX);
+                let rb = prows.get(ib).copied().unwrap_or(usize::MAX);
+                if ra < rb {
+                    row_idx.push(ra);
+                    values.push(vals[ia]);
+                    ia += 1;
+                } else if rb < ra {
+                    row_idx.push(rb);
+                    values.push(c * pvals[ib]);
+                    ib += 1;
+                } else {
+                    let v = vals[ia] + c * pvals[ib];
+                    if v != 0.0 {
+                        row_idx.push(ra);
+                        values.push(v);
+                    }
+                    ia += 1;
+                    ib += 1;
+                }
+            }
+        }
+        col_ptr.push(row_idx.len());
+    }
+    CscMatrix::from_parts_unchecked(m, n, col_ptr, row_idx, values)
+}
+
+/// Scale column `j` by `10^(-orders·j/(n-1))`.
+fn scale_columns_geometric(a: &CscMatrix<f64>, orders: f64) -> CscMatrix<f64> {
+    let (m, n) = (a.nrows(), a.ncols());
+    let col_ptr = a.col_ptr().to_vec();
+    let row_idx = a.row_idx().to_vec();
+    let mut values = a.values().to_vec();
+    for j in 0..n {
+        let s = 10f64.powf(-orders * j as f64 / (n.max(2) - 1) as f64);
+        for v in &mut values[col_ptr[j]..col_ptr[j + 1]] {
+            *v *= s;
+        }
+    }
+    CscMatrix::from_parts_unchecked(m, n, col_ptr, row_idx, values)
+}
+
+/// Overwrite every 8th column (beyond the first) with a copy of its
+/// predecessor at relative distance `eps`.
+fn duplicate_columns(base: &CscMatrix<f64>, eps: f64, seed: u64) -> CscMatrix<f64> {
+    let (m, n) = (base.nrows(), base.ncols());
+    let mut rng = CheckpointRng::<Xoshiro256PlusPlus>::new(seed);
+    rng.set_state(0, 0);
+    let mut coo = sparsekit::CooMatrix::with_capacity(m, n, base.nnz());
+    for j in 0..n {
+        if j % 8 == 1 {
+            let (rows, vals) = base.col(j - 1);
+            for (&r, &v) in rows.iter().zip(vals.iter()) {
+                let p = rngkit::u64_to_unit_f64(rng.next_u64()) * eps;
+                coo.push_unchecked(r, j, v * (1.0 + p));
+            }
+        } else {
+            let (rows, vals) = base.col(j);
+            for (&r, &v) in rows.iter().zip(vals.iter()) {
+                coo.push_unchecked(r, j, v);
+            }
+        }
+    }
+    coo.to_csc().expect("bounds preserved")
+}
+
+/// Add `1.0` at `(j + shift, j)` for every column `j`, ensuring nonempty
+/// rows/columns without changing the density materially.
+fn ensure_structural_rank<T: Scalar>(a: CscMatrix<T>, seed: u64) -> CscMatrix<T> {
+    let (m, n) = (a.nrows(), a.ncols());
+    let mut rng = CheckpointRng::<Xoshiro256PlusPlus>::new(seed);
+    rng.set_state(0, 0);
+    let shift = (rng.next_u64() % (m - n + 1).max(1) as u64) as usize;
+    let mut coo = sparsekit::CooMatrix::with_capacity(m, n, a.nnz() + n);
+    for j in 0..n {
+        let (rows, vals) = a.col(j);
+        let diag_row = j + shift;
+        let mut has_diag = false;
+        for (&r, &v) in rows.iter().zip(vals.iter()) {
+            if r == diag_row {
+                has_diag = true;
+            }
+            coo.push_unchecked(r, j, v);
+        }
+        if !has_diag {
+            coo.push_unchecked(diag_row, j, T::ONE);
+        }
+    }
+    coo.to_csc().expect("bounds preserved")
+}
+
+/// The per-matrix recipes, calibrated to the published cond / cond(AD).
+pub fn paper_spec(name: &str) -> CondSpec {
+    match name {
+        // Rails: chain cond ≈ published cond(AD).
+        "rail2586" => CondSpec::chain(2.42),
+        "rail4284" => CondSpec::chain(2.52),
+        "rail582" => CondSpec::chain(2.26),
+        // spal_004: ~4.5 orders of scaling over a 1e3 chain.
+        "spal_004" => CondSpec::scaled(1.54, 3.06),
+        // specular: ~12.6 orders of scaling over a mild 30x chain.
+        "specular" => CondSpec::scaled(12.6, 1.48),
+        // connectus: rank deficiency, mild spread (LSQR-D needed only 73
+        // iterations in the paper).
+        "connectus" => CondSpec::deficient(14.0, 1.5),
+        // landmark: rank deficiency over a stronger chain (462 iterations).
+        "landmark" => CondSpec::deficient(14.0, 2.4),
+        _ => CondSpec::WELL,
+    }
+}
+
+/// Generate the Table VIII suite at dimension divisor `scale` (≥ 1). Wide
+/// originals are emitted in transposed (tall) orientation.
+pub fn lsq_suite(scale: usize) -> Vec<LsqProblem> {
+    let scale = scale.max(1);
+    TABLE8
+        .iter()
+        .map(|&paper| {
+            // Tall orientation.
+            let (tm, tn) = if paper.rows >= paper.cols {
+                (paper.rows, paper.cols)
+            } else {
+                (paper.cols, paper.rows)
+            };
+            let m = (tm / scale).max(64);
+            let n = (tn / scale).max(16).min(m);
+            let density = paper.nnz as f64 / (paper.rows as f64 * paper.cols as f64);
+            let spec = paper_spec(paper.name);
+            let a = tall_conditioned(m, n, density, spec, 0xA11 + paper.rows as u64);
+            LsqProblem { name: paper.name, a, paper, spec }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use densekit::cond::{cond2, cond2_equilibrated};
+    use densekit::Matrix;
+
+    fn densify(a: &CscMatrix<f64>) -> Matrix<f64> {
+        Matrix::from_fn(a.nrows(), a.ncols(), |i, j| a.get(i, j))
+    }
+
+    #[test]
+    fn well_conditioned_baseline() {
+        let a = tall_conditioned(400, 40, 0.02, CondSpec::WELL, 3);
+        let c = cond2(&densify(&a));
+        assert!(c.is_finite() && c < 1e3, "well-conditioned stand-in cond {c}");
+    }
+
+    #[test]
+    fn chain_spreads_spectrum_and_resists_equilibration() {
+        let a = tall_conditioned(600, 48, 0.05, CondSpec::chain(2.4), 5);
+        let d = densify(&a);
+        let c = cond2(&d);
+        let c_ad = cond2_equilibrated(&d);
+        // cond ≈ 10^2.4 ≈ 250, within a factor ~4 either way.
+        assert!(c > 60.0 && c < 2500.0, "chain cond {c}");
+        // Equilibration must NOT collapse it.
+        assert!(c_ad > c / 10.0, "equilibration killed the chain: {c_ad} vs {c}");
+        // And the spectrum must be spread, not clustered: the chain's
+        // |1 + c·e^{iθ}| continuum puts ~16% of values below σmax/2.
+        let sv = densekit::svd::svd_values(&d);
+        let small = sv.iter().filter(|&&s| s < sv[0] / 2.0).count();
+        assert!(small > 5, "spectrum not spread: only {small} below σmax/2");
+    }
+
+    #[test]
+    fn column_scaled_fixed_by_equilibration() {
+        let a = tall_conditioned(300, 30, 0.05, CondSpec::scaled(8.0, 1.0), 5);
+        let d = densify(&a);
+        let c = cond2(&d);
+        let c_ad = cond2_equilibrated(&d);
+        assert!(c > 1e6, "expected large cond, got {c}");
+        assert!(c_ad < 1e3, "equilibration should fix it, got {c_ad}");
+    }
+
+    #[test]
+    fn rank_deficient_not_fixed_by_equilibration() {
+        let a = tall_conditioned(300, 32, 0.05, CondSpec::deficient(13.0, 1.0), 7);
+        let d = densify(&a);
+        let c = cond2(&d);
+        let c_ad = cond2_equilibrated(&d);
+        assert!(c > 1e10, "expected near-singular, got {c}");
+        assert!(c_ad > 1e8, "equilibration must NOT fix dependence, got {c_ad}");
+    }
+
+    #[test]
+    fn chain_preserves_target_density() {
+        let a = tall_conditioned(2000, 100, 0.01, CondSpec::chain(2.0), 9);
+        assert!((a.density() - 0.01).abs() < 0.004, "density {}", a.density());
+    }
+
+    #[test]
+    fn no_empty_cols() {
+        let a = tall_conditioned(200, 50, 0.01, CondSpec::WELL, 1);
+        assert!(a.empty_cols().is_empty());
+    }
+
+    #[test]
+    fn suite_shapes_and_orientation() {
+        let suite = lsq_suite(256);
+        assert_eq!(suite.len(), 7);
+        for p in &suite {
+            let (m, n) = p.shape();
+            assert!(m >= n, "{} not tall: {m}x{n}", p.name);
+        }
+        let rail = &suite[0];
+        assert_eq!(rail.a.nrows(), (923269usize / 256));
+        let spec = suite.iter().find(|p| p.name == "specular").unwrap();
+        assert_eq!(spec.a.nrows(), (477976usize / 256));
+    }
+
+    #[test]
+    fn suite_deterministic() {
+        let a = lsq_suite(512);
+        let b = lsq_suite(512);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.a, y.a, "{} not deterministic", x.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tall")]
+    fn wide_request_rejected() {
+        let _ = tall_conditioned(10, 20, 0.1, CondSpec::WELL, 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Right-hand-side construction for the least-squares experiments.
+//!
+//! Paper §V-C: "We set b in (2) to a random vector in the range of A plus a
+//! random Gaussian vector drawn from N(0, I)." The range component makes the
+//! problem meaningfully consistent; the Gaussian component gives it a
+//! nontrivial residual.
+
+use rngkit::dist::Distribution;
+use rngkit::{CheckpointRng, Gaussian, UnitUniform, Xoshiro256PlusPlus};
+use sparsekit::CscMatrix;
+
+/// Build `b = A·x₀ + g` with `x₀` uniform(-1,1) and `g ~ N(0, I_m)`.
+///
+/// Returns `(b, x₀)`; `x₀` is *not* the least-squares solution (the noise
+/// moves it), but it is useful for scale checks.
+pub fn make_rhs(a: &CscMatrix<f64>, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let (m, n) = (a.nrows(), a.ncols());
+    let mut rng = CheckpointRng::<Xoshiro256PlusPlus>::new(seed);
+    let mut x0 = vec![0.0; n];
+    let mut uni = UnitUniform::<f64>::new();
+    uni.fill(&mut rng, &mut x0);
+
+    let mut b = vec![0.0; m];
+    a.spmv(&x0, &mut b);
+
+    let mut g = vec![0.0; m];
+    let mut gauss = Gaussian::<f64>::new();
+    gauss.fill(&mut rng, &mut g);
+    for (bi, gi) in b.iter_mut().zip(g.iter()) {
+        *bi += gi;
+    }
+    (b, x0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::uniform_random;
+
+    #[test]
+    fn rhs_has_range_plus_noise_structure() {
+        let a = uniform_random::<f64>(500, 20, 0.1, 3);
+        let (b, x0) = make_rhs(&a, 11);
+        assert_eq!(b.len(), 500);
+        assert_eq!(x0.len(), 20);
+        // b minus A·x₀ should look like N(0,1): mean ~0, var ~1.
+        let mut ax = vec![0.0; 500];
+        a.spmv(&x0, &mut ax);
+        let noise: Vec<f64> = b.iter().zip(ax.iter()).map(|(b, a)| b - a).collect();
+        let mean = noise.iter().sum::<f64>() / noise.len() as f64;
+        let var = noise.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / noise.len() as f64;
+        assert!(mean.abs() < 0.2, "noise mean {mean}");
+        assert!((var - 1.0).abs() < 0.3, "noise var {var}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = uniform_random::<f64>(100, 10, 0.2, 1);
+        assert_eq!(make_rhs(&a, 5).0, make_rhs(&a, 5).0);
+        assert_ne!(make_rhs(&a, 5).0, make_rhs(&a, 6).0);
+    }
+}

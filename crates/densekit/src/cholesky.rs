@@ -1,0 +1,141 @@
+//! Dense Cholesky factorization.
+//!
+//! Used by the normal-equations baseline solver (`lstsq::normal`): the Gram
+//! matrix `AᵀA` of a tall sparse `A` is a small dense SPD matrix. Classical
+//! but numerically inferior to QR/SAP — `cond(AᵀA) = cond(A)²` — which the
+//! least-squares comparison quantifies.
+
+use crate::{Matrix, Scalar};
+
+/// Lower-triangular Cholesky factor `L` with `L·Lᵀ = A`.
+#[derive(Clone, Debug)]
+pub struct Cholesky<T> {
+    l: Matrix<T>,
+}
+
+/// Error: the matrix is not numerically positive definite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Pivot index at which the factorization broke down.
+    pub at: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix not positive definite at pivot {}", self.at)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+impl<T: Scalar> Cholesky<T> {
+    /// Factor a symmetric positive-definite matrix (only the lower triangle
+    /// of `a` is read).
+    pub fn factor(a: &Matrix<T>) -> Result<Self, NotPositiveDefinite> {
+        let n = a.ncols();
+        assert_eq!(a.nrows(), n, "Cholesky needs a square matrix");
+        let mut l = Matrix::<T>::zeros(n, n);
+        for j in 0..n {
+            // d = a_jj − Σ_k l_jk².
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                let ljk = l[(j, k)];
+                d = (-ljk).mul_add(ljk, d);
+            }
+            if d.to_f64() <= 0.0 {
+                return Err(NotPositiveDefinite { at: j });
+            }
+            let djj = d.sqrt();
+            l[(j, j)] = djj;
+            // Column below the pivot.
+            for i in j + 1..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s = (-l[(i, k)]).mul_add(l[(j, k)], s);
+                }
+                l[(i, j)] = s / djj;
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix<T> {
+        &self.l
+    }
+
+    /// Solve `A·x = b` in place (forward then back substitution).
+    pub fn solve_in_place(&self, b: &mut [T]) {
+        crate::solve_lower(&self.l, b);
+        crate::solve_lower_t(&self.l, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> Matrix<f64> {
+        // B random, A = BᵀB + n·I is SPD.
+        let mut s = seed | 1;
+        let b = Matrix::from_fn(n, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(7);
+            ((s >> 33) as f64) / (1u64 << 31) as f64 - 0.5
+        });
+        let mut a = Matrix::zeros(n, n);
+        densekit_gemm(&b.transpose(), &b, &mut a);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    fn densekit_gemm(x: &Matrix<f64>, y: &Matrix<f64>, z: &mut Matrix<f64>) {
+        crate::gemm::gemm(x, y, z);
+    }
+
+    #[test]
+    fn factor_and_solve() {
+        let a = spd(12, 3);
+        let chol = Cholesky::factor(&a).unwrap();
+        let x_true: Vec<f64> = (0..12).map(|i| (i as f64) / 3.0 - 2.0).collect();
+        let mut b = vec![0.0; 12];
+        a.matvec(&x_true, &mut b);
+        chol.solve_in_place(&mut b);
+        for (got, want) in b.iter().zip(x_true.iter()) {
+            assert!((got - want).abs() < 1e-11, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = spd(8, 5);
+        let chol = Cholesky::factor(&a).unwrap();
+        let l = chol.l();
+        let mut rec = Matrix::zeros(8, 8);
+        crate::gemm::gemm(l, &l.transpose(), &mut rec);
+        assert!(rec.diff_norm(&a) < 1e-11 * a.fro_norm());
+        // L is lower triangular with positive diagonal.
+        for i in 0..8 {
+            assert!(l[(i, i)] > 0.0);
+            for j in i + 1..8 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_rejected() {
+        let mut a = Matrix::<f64>::identity(3);
+        a[(2, 2)] = -1.0;
+        let err = Cholesky::factor(&a).unwrap_err();
+        assert_eq!(err.at, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rectangular_rejected() {
+        let a = Matrix::<f64>::zeros(3, 2);
+        let _ = Cholesky::factor(&a);
+    }
+}

@@ -1,0 +1,165 @@
+//! Cache-blocked dense GEMM.
+//!
+//! Used by the materialized-`S` baselines (which multiply an explicit dense
+//! `S` against densified blocks) and by verification paths. The blocking
+//! follows the classic `O(√M)` tiling the paper's §III-A contrasts against:
+//! GEMM's computational intensity is `O(√M)`, which the sketching kernels
+//! beat by a factor `√M` when `h` (RNG cost) is small.
+
+use crate::{Matrix, Scalar};
+use rayon::prelude::*;
+
+/// Tile edge for the blocked kernel; 64×64 f64 tiles ≈ 32 KiB, sized for L1.
+const TILE: usize = 64;
+
+/// `C += A·B` with cache blocking. Shapes: A is m×k, B is k×n, C is m×n.
+pub fn gemm<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, c: &mut Matrix<T>) {
+    let (m, k, n) = (a.nrows(), a.ncols(), b.ncols());
+    assert_eq!(b.nrows(), k, "inner dimension mismatch");
+    assert_eq!(c.nrows(), m, "output rows mismatch");
+    assert_eq!(c.ncols(), n, "output cols mismatch");
+
+    for jc in (0..n).step_by(TILE) {
+        let jhi = (jc + TILE).min(n);
+        for pc in (0..k).step_by(TILE) {
+            let phi = (pc + TILE).min(k);
+            for ic in (0..m).step_by(TILE) {
+                let ihi = (ic + TILE).min(m);
+                // Micro-kernel on the tile: jpi ordering, column-contiguous
+                // access to A and C.
+                for j in jc..jhi {
+                    for p in pc..phi {
+                        let bpj = b[(p, j)];
+                        if bpj == T::ZERO {
+                            continue;
+                        }
+                        let a_col = &a.col(p)[ic..ihi];
+                        let c_col = &mut c.col_mut(j)[ic..ihi];
+                        for (cv, &av) in c_col.iter_mut().zip(a_col.iter()) {
+                            *cv = av.mul_add(bpj, *cv);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C += A·B` parallelized over column panels of `C` with rayon.
+pub fn gemm_parallel<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, c: &mut Matrix<T>) {
+    let (m, k, n) = (a.nrows(), a.ncols(), b.ncols());
+    assert_eq!(b.nrows(), k, "inner dimension mismatch");
+    assert_eq!(c.nrows(), m, "output rows mismatch");
+    assert_eq!(c.ncols(), n, "output cols mismatch");
+
+    // Each worker owns a disjoint panel of C's columns: data-race free by
+    // construction (rayon chunks are disjoint &mut slices).
+    c.as_mut_slice()
+        .par_chunks_mut(m * TILE.max(1))
+        .enumerate()
+        .for_each(|(panel, c_panel)| {
+            let jc = panel * TILE;
+            let jhi = (jc + TILE).min(n);
+            for pc in (0..k).step_by(TILE) {
+                let phi = (pc + TILE).min(k);
+                for ic in (0..m).step_by(TILE) {
+                    let ihi = (ic + TILE).min(m);
+                    for j in jc..jhi {
+                        let local = j - jc;
+                        for p in pc..phi {
+                            let bpj = b[(p, j)];
+                            if bpj == T::ZERO {
+                                continue;
+                            }
+                            let a_col = &a.col(p)[ic..ihi];
+                            let c_col = &mut c_panel[local * m + ic..local * m + ihi];
+                            for (cv, &av) in c_col.iter_mut().zip(a_col.iter()) {
+                                *cv = av.mul_add(bpj, *cv);
+                            }
+                        }
+                    }
+                }
+            }
+        });
+}
+
+/// Reference triple-loop GEMM for verification (`C = A·B`, overwriting).
+pub fn gemm_reference<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let (m, k, n) = (a.nrows(), a.ncols(), b.ncols());
+    assert_eq!(b.nrows(), k);
+    let mut c = Matrix::zeros(m, n);
+    for j in 0..n {
+        for p in 0..k {
+            let bpj = b[(p, j)];
+            for i in 0..m {
+                c[(i, j)] = a[(i, p)].mul_add(bpj, c[(i, j)]);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(m: usize, n: usize, seed: u64) -> Matrix<f64> {
+        let mut s = seed;
+        Matrix::from_fn(m, n, |i, j| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64 * 31 + j as u64);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        })
+    }
+
+    #[test]
+    fn blocked_matches_reference() {
+        for (m, k, n) in [(5, 7, 3), (64, 64, 64), (100, 33, 129), (1, 1, 1), (130, 65, 64)] {
+            let a = filled(m, k, 1);
+            let b = filled(k, n, 2);
+            let reference = gemm_reference(&a, &b);
+            let mut c = Matrix::zeros(m, n);
+            gemm(&a, &b, &mut c);
+            assert!(
+                c.diff_norm(&reference) < 1e-10 * reference.fro_norm().max(1.0),
+                "blocked gemm mismatch at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_reference() {
+        for (m, k, n) in [(33, 70, 129), (64, 64, 200), (7, 3, 5)] {
+            let a = filled(m, k, 3);
+            let b = filled(k, n, 4);
+            let reference = gemm_reference(&a, &b);
+            let mut c = Matrix::zeros(m, n);
+            gemm_parallel(&a, &b, &mut c);
+            assert!(
+                c.diff_norm(&reference) < 1e-10 * reference.fro_norm().max(1.0),
+                "parallel gemm mismatch at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_accumulates() {
+        let a = Matrix::<f64>::identity(3);
+        let b = filled(3, 3, 9);
+        let mut c = b.clone();
+        gemm(&a, &b, &mut c); // c = b + I*b = 2b
+        let mut twice = b.clone();
+        twice.scale(2.0);
+        assert!(c.diff_norm(&twice) < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(2, 2);
+        let mut c = Matrix::<f64>::zeros(2, 2);
+        gemm(&a, &b, &mut c);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # densekit — dense linear algebra substrate
+//!
+//! Dense matrices and factorizations needed by the sketching pipeline:
+//!
+//! * [`Matrix`] — column-major dense storage (the sketch `Â = S·A` is dense,
+//!   and column-major matches Algorithm 3's column-wise updates).
+//! * [`gemm`] — cache-blocked matrix-matrix multiply, used by the
+//!   materialized-`S` baselines and for verification.
+//! * [`qr`] — Householder QR; the R factor of the sketch is the
+//!   preconditioner in SAP-QR (paper §V-C1).
+//! * [`svd`] — Golub–Kahan–Reinsch SVD (bidiagonalization + implicit-shift
+//!   QR); `V·Σ⁻¹` from the sketch is the SAP-SVD preconditioner for
+//!   rank-deficient problems, with singular values below
+//!   `σ_max/10¹²` dropped exactly as the paper prescribes.
+//! * [`solve`] — triangular solves used when applying preconditioners.
+//! * [`cond`] — condition-number computation for the Table VIII properties.
+
+pub mod cholesky;
+pub mod cond;
+pub mod gemm;
+pub mod matrix;
+pub mod qr;
+pub mod solve;
+pub mod svd;
+
+pub use cholesky::Cholesky;
+pub use cond::cond2;
+pub use matrix::{densify, Matrix};
+pub use qr::{householder_qr_r, HouseholderQr};
+pub use solve::{solve_lower, solve_lower_t, solve_upper, solve_upper_t};
+pub use svd::{svd_values, ThinSvd};
+
+pub use sparsekit::Scalar;

@@ -1,0 +1,297 @@
+//! LSMR — Fong & Saunders' least-squares solver (SIAM J. Sci. Comput. 2011).
+//!
+//! Like LSQR it runs on the Golub–Kahan bidiagonalization, but it is
+//! mathematically equivalent to MINRES on the normal equations, so the
+//! quantity the paper's stopping rule watches — `‖Aᵀr‖` — decreases
+//! **monotonically**. Included alongside LSQR because the two are the
+//! standard pair in sketch-and-precondition pipelines (RandBLAS exposes
+//! both); `repro`'s solver ablation can swap them.
+
+use crate::op::LinOp;
+use crate::lsqr::StopReason;
+
+/// LSMR options.
+#[derive(Clone, Copy, Debug)]
+pub struct LsmrOptions {
+    /// Tolerance on `‖Aᵀr‖/(‖A‖·‖r‖)`.
+    pub atol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Refresh the true residual every `refresh` iterations (robustness
+    /// against drift of the recurrences; costs one extra `apply`).
+    pub refresh: usize,
+}
+
+impl Default for LsmrOptions {
+    fn default() -> Self {
+        Self {
+            atol: 1e-14,
+            max_iters: 100_000,
+            refresh: 64,
+        }
+    }
+}
+
+/// LSMR result.
+#[derive(Clone, Debug)]
+pub struct LsmrResult {
+    /// Solution.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iters: usize,
+    /// Final `‖Aᵀr‖` estimate (`|ζ̄|`).
+    pub atr_norm: f64,
+    /// Why iteration stopped.
+    pub stop: StopReason,
+}
+
+fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+fn scale_in_place(v: &mut [f64], s: f64) {
+    for x in v {
+        *x *= s;
+    }
+}
+
+/// Run LSMR on `op` with right-hand side `b`.
+pub fn lsmr<A: LinOp>(op: &mut A, b: &[f64], opts: &LsmrOptions) -> LsmrResult {
+    let m = op.nrows();
+    let n = op.ncols();
+    assert_eq!(b.len(), m, "rhs length mismatch");
+
+    let mut x = vec![0.0; n];
+    let mut u = b.to_vec();
+    let beta1 = norm2(&u);
+    if beta1 == 0.0 {
+        return LsmrResult {
+            x,
+            iters: 0,
+            atr_norm: 0.0,
+            stop: StopReason::ResidualZero,
+        };
+    }
+    scale_in_place(&mut u, 1.0 / beta1);
+
+    let mut v = vec![0.0; n];
+    op.apply_t(&u, &mut v);
+    let alpha1 = norm2(&v);
+    if alpha1 == 0.0 {
+        return LsmrResult {
+            x,
+            iters: 0,
+            atr_norm: 0.0,
+            stop: StopReason::AtolSatisfied,
+        };
+    }
+    scale_in_place(&mut v, 1.0 / alpha1);
+
+    let mut alpha = alpha1;
+    let mut zetabar = alpha1 * beta1;
+    let mut alphabar = alpha1;
+    let mut rho = 1.0f64;
+    let mut rhobar = 1.0f64;
+    let mut cbar = 1.0f64;
+    let mut sbar = 0.0f64;
+
+    let mut h = v.clone();
+    let mut hbar = vec![0.0; n];
+
+    let mut anorm2 = alpha1 * alpha1;
+    let mut scratch_m = vec![0.0; m];
+    let mut scratch_n = vec![0.0; n];
+
+    let mut iters = 0;
+    let mut stop = StopReason::MaxIters;
+
+    while iters < opts.max_iters {
+        iters += 1;
+
+        // Bidiagonalization continue.
+        op.apply(&v, &mut scratch_m);
+        for (ui, &avi) in u.iter_mut().zip(scratch_m.iter()) {
+            *ui = avi - alpha * *ui;
+        }
+        let beta = norm2(&u);
+        if beta > 0.0 {
+            scale_in_place(&mut u, 1.0 / beta);
+        }
+        op.apply_t(&u, &mut scratch_n);
+        for (vi, &atui) in v.iter_mut().zip(scratch_n.iter()) {
+            *vi = atui - beta * *vi;
+        }
+        alpha = norm2(&v);
+        if alpha > 0.0 {
+            scale_in_place(&mut v, 1.0 / alpha);
+        }
+        anorm2 += alpha * alpha + beta * beta;
+
+        // Rotation P_k.
+        let rho_old = rho;
+        rho = alphabar.hypot(beta);
+        let c = alphabar / rho;
+        let s = beta / rho;
+        let thetanew = s * alpha;
+        alphabar = c * alpha;
+
+        // Rotation P̄_k.
+        let rhobar_old = rhobar;
+        let thetabar = sbar * rho;
+        let rhotemp = cbar * rho;
+        rhobar = rhotemp.hypot(thetanew);
+        cbar = rhotemp / rhobar;
+        sbar = thetanew / rhobar;
+        let zeta = cbar * zetabar;
+        zetabar *= -sbar;
+
+        // Update h̄, x, h.
+        let coef_hbar = thetabar * rho / (rho_old * rhobar_old);
+        for (hb, &hi) in hbar.iter_mut().zip(h.iter()) {
+            *hb = hi - coef_hbar * *hb;
+        }
+        let coef_x = zeta / (rho * rhobar);
+        for (xi, &hb) in x.iter_mut().zip(hbar.iter()) {
+            *xi += coef_x * hb;
+        }
+        let coef_h = thetanew / rho;
+        for (hi, &vi) in h.iter_mut().zip(v.iter()) {
+            *hi = vi - coef_h * *hi;
+        }
+
+        // Convergence: ‖Aᵀr‖ = |ζ̄| (exact in exact arithmetic).
+        let atr = zetabar.abs();
+        if atr == 0.0 {
+            stop = StopReason::AtolSatisfied;
+            break;
+        }
+        // Periodic exact residual for a trustworthy denominator; otherwise a
+        // cheap upper bound ‖r‖ ≤ ‖b‖ is used (conservative).
+        let rnorm = if iters % opts.refresh == 0 {
+            op.apply(&x, &mut scratch_m);
+            let mut acc = 0.0;
+            for (avi, &bi) in scratch_m.iter().zip(b.iter()) {
+                let d = avi - bi;
+                acc += d * d;
+            }
+            acc.sqrt().max(f64::MIN_POSITIVE)
+        } else {
+            beta1
+        };
+        if atr <= opts.atol * anorm2.sqrt() * rnorm {
+            stop = StopReason::AtolSatisfied;
+            break;
+        }
+    }
+
+    LsmrResult {
+        x,
+        iters,
+        atr_norm: zetabar.abs(),
+        stop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsqr::{lsqr, LsqrOptions};
+    use crate::op::CscOp;
+    use sparsekit::{CooMatrix, CscMatrix};
+
+    fn random_tall(m: usize, n: usize, seed: u64) -> CscMatrix<f64> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s >> 11
+        };
+        let mut coo = CooMatrix::new(m, n);
+        for j in 0..n {
+            coo.push(j, j, 2.0 + (next() % 100) as f64 / 100.0).unwrap();
+        }
+        for _ in 0..(4 * m) {
+            coo.push(
+                (next() % m as u64) as usize,
+                (next() % n as u64) as usize,
+                (next() % 1000) as f64 / 500.0 - 0.9995,
+            )
+            .unwrap();
+        }
+        coo.to_csc().unwrap()
+    }
+
+    #[test]
+    fn agrees_with_lsqr_on_inconsistent_system() {
+        let a = random_tall(120, 18, 1);
+        let b: Vec<f64> = (0..120).map(|i| ((i * 29) % 23) as f64 - 11.0).collect();
+        let mut op1 = CscOp::new(&a);
+        let r_lsqr = lsqr(&mut op1, &b, &LsqrOptions::default());
+        let mut op2 = CscOp::new(&a);
+        let r_lsmr = lsmr(&mut op2, &b, &LsmrOptions::default());
+        let scale = norm2(&r_lsqr.x).max(1.0);
+        let diff: f64 = r_lsqr
+            .x
+            .iter()
+            .zip(r_lsmr.x.iter())
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
+        assert!(diff < 1e-8 * scale, "LSQR/LSMR disagree by {diff}");
+        assert_eq!(r_lsmr.stop, StopReason::AtolSatisfied);
+    }
+
+    #[test]
+    fn consistent_system_exact() {
+        let a = random_tall(80, 12, 5);
+        let x_true: Vec<f64> = (0..12).map(|i| i as f64 / 5.0 - 1.0).collect();
+        let mut b = vec![0.0; 80];
+        a.spmv(&x_true, &mut b);
+        let mut op = CscOp::new(&a);
+        let r = lsmr(&mut op, &b, &LsmrOptions::default());
+        for (got, want) in r.x.iter().zip(x_true.iter()) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn atr_norm_monotone_under_snapshots() {
+        // Run with increasing iteration caps; ‖Aᵀr‖ must not increase —
+        // LSMR's defining property vs LSQR.
+        let a = random_tall(200, 40, 9);
+        let b: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut last = f64::INFINITY;
+        for iters in [5, 10, 20, 40, 80] {
+            let mut op = CscOp::new(&a);
+            let r = lsmr(
+                &mut op,
+                &b,
+                &LsmrOptions {
+                    atol: 0.0,
+                    max_iters: iters,
+                    refresh: 1000,
+                },
+            );
+            // True ‖Aᵀr‖.
+            let mut ax = vec![0.0; 200];
+            a.spmv(&r.x, &mut ax);
+            let resid: Vec<f64> = ax.iter().zip(b.iter()).map(|(p, q)| p - q).collect();
+            let mut atr = vec![0.0; 40];
+            a.spmv_t(&resid, &mut atr);
+            let now = norm2(&atr);
+            assert!(
+                now <= last * (1.0 + 1e-9),
+                "‖Aᵀr‖ increased: {now} after {iters} iters (was {last})"
+            );
+            last = now;
+        }
+    }
+
+    #[test]
+    fn zero_rhs() {
+        let a = random_tall(20, 4, 2);
+        let mut op = CscOp::new(&a);
+        let r = lsmr(&mut op, &[0.0; 20], &LsmrOptions::default());
+        assert_eq!(r.iters, 0);
+        assert!(r.x.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,178 @@
+//! Normal-equations baseline: `x = (AᵀA)⁻¹·Aᵀb` via dense Cholesky of the
+//! Gram matrix.
+//!
+//! The third classical approach alongside QR and iterative methods. Fast for
+//! very tall `A` (one pass to form the small `n×n` Gram, `O(n³/3)` to
+//! factor) but numerically the worst: `cond(AᵀA) = cond(A)²`, so it loses
+//! half the digits SAP/QR keep — which the accuracy comparison in the
+//! `ablate_solvers` path quantifies. Included as a baseline, not used by the
+//! paper's pipeline.
+
+use densekit::cholesky::{Cholesky, NotPositiveDefinite};
+use densekit::Matrix;
+use sparsekit::CscMatrix;
+
+/// Report of a normal-equations solve.
+#[derive(Clone, Debug)]
+pub struct NormalEqReport {
+    /// Solution.
+    pub x: Vec<f64>,
+    /// Seconds to form the Gram matrix `AᵀA`.
+    pub gram_s: f64,
+    /// Seconds to factor and solve.
+    pub solve_s: f64,
+    /// Bytes of the dense Gram + factor workspace.
+    pub memory_bytes: usize,
+}
+
+/// Form the dense Gram matrix `AᵀA` of a sparse tall matrix in one pass over
+/// the columns: `G[i, j] = ⟨A_i, A_j⟩`, computed by sparse dot products with
+/// a scatter workspace (O(nnz·avg_col_nnz) total).
+pub fn gram<T: sparsekit::Scalar>(a: &CscMatrix<T>) -> Matrix<T> {
+    let n = a.ncols();
+    let m = a.nrows();
+    let mut g = Matrix::<T>::zeros(n, n);
+    // Scatter column j into a dense workspace, then dot every other column
+    // with overlapping support against it. Exploits symmetry (j ≥ i).
+    let mut work = vec![T::ZERO; m];
+    for j in 0..n {
+        let (rows_j, vals_j) = a.col(j);
+        for (&r, &v) in rows_j.iter().zip(vals_j.iter()) {
+            work[r] = v;
+        }
+        for i in 0..=j {
+            let (rows_i, vals_i) = a.col(i);
+            let mut acc = T::ZERO;
+            for (&r, &v) in rows_i.iter().zip(vals_i.iter()) {
+                acc = v.mul_add(work[r], acc);
+            }
+            g[(i, j)] = acc;
+            g[(j, i)] = acc;
+        }
+        for &r in rows_j {
+            work[r] = T::ZERO;
+        }
+    }
+    g
+}
+
+/// Solve `min ‖Ax − b‖₂` by normal equations + Cholesky.
+pub fn solve_normal_equations(
+    a: &CscMatrix<f64>,
+    b: &[f64],
+) -> Result<NormalEqReport, NotPositiveDefinite> {
+    let t0 = std::time::Instant::now();
+    let g = gram(a);
+    let gram_s = t0.elapsed().as_secs_f64();
+
+    let t1 = std::time::Instant::now();
+    let chol = Cholesky::factor(&g)?;
+    let mut x = vec![0.0; a.ncols()];
+    a.spmv_t(b, &mut x);
+    chol.solve_in_place(&mut x);
+    let solve_s = t1.elapsed().as_secs_f64();
+
+    Ok(NormalEqReport {
+        x,
+        gram_s,
+        solve_s,
+        memory_bytes: g.memory_bytes() * 2, // Gram + factor
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::backward_error;
+    use datagen::lsq::{tall_conditioned, CondSpec};
+    use datagen::make_rhs;
+
+    #[test]
+    fn gram_matches_definition() {
+        let a = datagen::uniform_random::<f64>(60, 10, 0.2, 1);
+        let g = gram(&a);
+        let dense = Matrix::from_fn(60, 10, |i, j| a.get(i, j));
+        let mut expect = Matrix::zeros(10, 10);
+        densekit::gemm::gemm(&dense.transpose(), &dense, &mut expect);
+        assert!(g.diff_norm(&expect) < 1e-11 * expect.fro_norm().max(1.0));
+    }
+
+    #[test]
+    fn solves_well_conditioned_problem() {
+        let a = tall_conditioned(800, 40, 0.05, CondSpec::WELL, 3);
+        let (b, _) = make_rhs(&a, 5);
+        let rep = solve_normal_equations(&a, &b).unwrap();
+        assert!(backward_error(&a, &rep.x, &b) < 1e-11);
+        assert!(rep.gram_s >= 0.0 && rep.solve_s >= 0.0);
+    }
+
+    #[test]
+    fn loses_forward_accuracy_on_squared_conditioning() {
+        // Normal equations make ‖Aᵀr‖ tiny *by construction* (they solve
+        // AᵀAx = Aᵀb directly), so the backward metric cannot expose them;
+        // the damage is in forward error: cond(AᵀA) = cond(A)² amplifies
+        // roundoff in x itself. Reference: dense Householder QR.
+        // Column *scaling* is benign for Cholesky (its error bounds follow
+        // the equilibrated condition number), and the chain's κ is capped at
+        // O(n) for small n — near-duplicate columns at distance 1e-6 give a
+        // genuine, equilibration-proof κ(A) ≈ 1e6, so κ(AᵀA) ≈ 1e12.
+        let a = tall_conditioned(600, 48, 0.08, CondSpec::deficient(6.0, 1.0), 7);
+        let (b, _) = make_rhs(&a, 9);
+        let ne = solve_normal_equations(&a, &b).unwrap();
+        let dense = Matrix::from_fn(a.nrows(), a.ncols(), |i, j| a.get(i, j));
+        let x_ref = densekit::HouseholderQr::factor(&dense).solve_ls(&b);
+        let scale: f64 = x_ref.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let fwd_ne: f64 = ne
+            .x
+            .iter()
+            .zip(x_ref.iter())
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt()
+            / scale;
+        // With cond ~ 1e6, NE forward error ~ cond²·eps ≈ 1e-4; QR-grade
+        // methods sit near cond·eps ≈ 1e-10. Require a visible gap.
+        assert!(
+            fwd_ne > 1e-9,
+            "normal equations unexpectedly accurate: forward error {fwd_ne}"
+        );
+        // And the SAP solution stays QR-grade on the same problem.
+        let sap = crate::sap::solve_sap(
+            &a,
+            &b,
+            &crate::sap::SapOptions {
+                gamma: 2,
+                b_d: 64,
+                b_n: 16,
+                seed: 2,
+                flavor: crate::sap::SapFlavor::Qr,
+                lsqr: crate::lsqr::LsqrOptions::default(),
+            },
+        );
+        let fwd_sap: f64 = sap
+            .x
+            .iter()
+            .zip(x_ref.iter())
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt()
+            / scale;
+        assert!(
+            fwd_sap * 10.0 < fwd_ne,
+            "SAP forward error {fwd_sap} not clearly better than NE {fwd_ne}"
+        );
+    }
+
+    #[test]
+    fn rank_deficient_gram_rejected() {
+        // Duplicate columns → AᵀA exactly singular → Cholesky must refuse.
+        let mut coo = sparsekit::CooMatrix::new(10, 3);
+        for i in 0..10 {
+            coo.push(i, 0, 1.0 + i as f64).unwrap();
+            coo.push(i, 1, 1.0 + i as f64).unwrap();
+            coo.push(i, 2, 0.5).unwrap();
+        }
+        let a = coo.to_csc().unwrap();
+        assert!(solve_normal_equations(&a, &[1.0; 10]).is_err());
+    }
+}

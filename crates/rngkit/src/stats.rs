@@ -1,0 +1,170 @@
+//! Statistical utilities for validating generator and sketch quality.
+//!
+//! Used by tests throughout the workspace (and by the `repro` harness when
+//! reporting sketch quality). The headline quantity for sketching is the
+//! *effective distortion* of `S` for a subspace (paper §IV-B2 / RandBLAS §2):
+//! how far the singular values of `S·Q` stray from 1 for an orthonormal `Q`.
+
+/// Sample mean.
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Sample variance (population normalization, matching the moment tests).
+pub fn variance(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let m = mean(v);
+    v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+}
+
+/// Excess-free kurtosis `E[x⁴]/Var²` (3 for a Gaussian, 1.8 for uniform).
+pub fn kurtosis(v: &[f64]) -> f64 {
+    let var = variance(v);
+    if var == 0.0 {
+        return 0.0;
+    }
+    let m = mean(v);
+    v.iter().map(|x| (x - m).powi(4)).sum::<f64>() / v.len() as f64 / (var * var)
+}
+
+/// Pearson chi-squared statistic of `v` against a uniform distribution over
+/// (-1, 1) using `bins` equiprobable bins. Under H₀ the statistic is
+/// approximately χ²(bins−1); callers compare against a generous quantile.
+pub fn chi2_uniform_unit(v: &[f64], bins: usize) -> f64 {
+    assert!(bins >= 2);
+    let mut counts = vec![0usize; bins];
+    for &x in v {
+        let t = ((x + 1.0) / 2.0).clamp(0.0, 1.0 - 1e-15);
+        counts[(t * bins as f64) as usize] += 1;
+    }
+    let expected = v.len() as f64 / bins as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+/// Lag-1 serial correlation; near zero for an iid stream.
+pub fn lag1_autocorr(v: &[f64]) -> f64 {
+    if v.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(v);
+    let var = variance(v);
+    if var == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = v.windows(2).map(|w| (w[0] - m) * (w[1] - m)).sum();
+    num / ((v.len() - 1) as f64 * var)
+}
+
+/// Monte-Carlo estimate of the empirical CDF distance from N(0,1)
+/// (Kolmogorov–Smirnov statistic). `v` is sorted internally.
+pub fn ks_normal(v: &[f64]) -> f64 {
+    let mut s = v.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = s.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in s.iter().enumerate() {
+        let f = normal_cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Φ(x) via the Abramowitz–Stegun erf approximation (|err| < 1.5e-7).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// erf via Abramowitz & Stegun 7.1.26.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockRng, CheckpointRng, Xoshiro256PlusPlus};
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-5);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for x in [-2.5, -1.0, -0.3, 0.0, 0.7, 1.9] {
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn chi2_flags_nonuniform() {
+        // A constant vector must yield a huge chi2; a good stream small.
+        let mut r = CheckpointRng::<Xoshiro256PlusPlus>::new(8);
+        r.set_state(0, 0);
+        let good: Vec<f64> = (0..50_000).map(|_| crate::u64_to_unit_f64(r.next_u64())).collect();
+        let bad = vec![0.25; 50_000];
+        let c_good = chi2_uniform_unit(&good, 64);
+        let c_bad = chi2_uniform_unit(&bad, 64);
+        // χ²(63) has mean 63, sd ~11.2; accept < 63 + 5sd.
+        assert!(c_good < 120.0, "good stream chi2 {c_good}");
+        assert!(c_bad > 1e5, "constant stream chi2 {c_bad}");
+    }
+
+    #[test]
+    fn lag1_autocorr_small_for_rng() {
+        let mut r = CheckpointRng::<Xoshiro256PlusPlus>::new(3);
+        r.set_state(0, 0);
+        let v: Vec<f64> = (0..100_000)
+            .map(|_| crate::u64_to_unit_f64(r.next_u64()))
+            .collect();
+        assert!(lag1_autocorr(&v).abs() < 0.01);
+        // A sawtooth has strong lag-1 correlation.
+        let saw: Vec<f64> = (0..1000).map(|i| (i % 100) as f64 / 50.0 - 1.0).collect();
+        assert!(lag1_autocorr(&saw) > 0.9);
+    }
+
+    #[test]
+    fn ks_accepts_gaussian_rejects_uniform() {
+        use crate::dist::Distribution;
+        let mut d = crate::Gaussian::<f64>::new();
+        let mut r = CheckpointRng::<Xoshiro256PlusPlus>::new(5);
+        let mut g = vec![0.0; 20_000];
+        d.fill(&mut r, &mut g);
+        assert!(ks_normal(&g) < 0.015, "KS too large for gaussian");
+        let u: Vec<f64> = (0..20_000).map(|i| (i as f64 / 10_000.0) - 1.0).collect();
+        assert!(ks_normal(&u) > 0.05, "KS failed to reject uniform");
+    }
+
+    #[test]
+    fn moments_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(kurtosis(&[2.0, 2.0]), 0.0);
+        assert_eq!(lag1_autocorr(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Algorithm 1 — the outer blocking driver.
+//!
+//! `(⌈d/b_d⌉, 1, ⌈n/b_n⌉)`-blocking of `Â = S·A`: the outermost loop walks
+//! vertical blocks of `A` (encouraging the sparse data and the active panel
+//! of `Â` to stay cached), the inner loop walks row blocks of `S`/`Â`, and
+//! the `m` dimension is not blocked. Each `(i, j)` iterate hands a
+//! `d₁×n₁` block of `Â` to a compute kernel (Algorithm 3 or 4).
+
+use crate::config::SketchConfig;
+
+/// One block of the outer iteration space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OuterBlock {
+    /// Row offset into `Â`/`S` (the `i` of Algorithm 1).
+    pub i: usize,
+    /// Rows in this block (`d₁ = d_stop − i + 1`).
+    pub d1: usize,
+    /// Column offset into `Â`/`A` (the `j` of Algorithm 1).
+    pub j: usize,
+    /// Columns in this block (`n₁ = n_stop − j + 1`).
+    pub n1: usize,
+}
+
+/// Enumerate Algorithm 1's blocks in its loop order (columns outermost).
+pub fn blocks(cfg: &SketchConfig, n: usize) -> Vec<OuterBlock> {
+    let mut out = Vec::with_capacity(cfg.n_blocks(n) * cfg.d_blocks());
+    let mut j = 0;
+    while j < n {
+        let n1 = cfg.b_n.min(n - j);
+        let mut i = 0;
+        while i < cfg.d {
+            let d1 = cfg.b_d.min(cfg.d - i);
+            out.push(OuterBlock { i, d1, j, n1 });
+            i += cfg.b_d;
+        }
+        j += cfg.b_n;
+    }
+    if n == 0 {
+        // Degenerate input: no column blocks, Â is d×0.
+        out.clear();
+    }
+    out
+}
+
+/// Drive a compute kernel over Algorithm 1's blocks.
+///
+/// `kernel(block)` must add `S[i..i+d1, :] · A[:, j..j+n1]` into
+/// `Â[i..i+d1, j..j+n1]`; the driver guarantees each block is visited
+/// exactly once, in the paper's loop order.
+pub fn drive<F: FnMut(OuterBlock)>(cfg: &SketchConfig, n: usize, mut kernel: F) {
+    for b in blocks(cfg, n) {
+        kernel(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_tile_exactly() {
+        let cfg = SketchConfig::new(10, 4, 3, 0);
+        let bs = blocks(&cfg, 7);
+        // 3 column blocks (3,3,1) × 3 row blocks (4,4,2).
+        assert_eq!(bs.len(), 9);
+        let total: usize = bs.iter().map(|b| b.d1 * b.n1).sum();
+        assert_eq!(total, 10 * 7);
+        // Column loop outermost: first three blocks share j = 0.
+        assert!(bs[..3].iter().all(|b| b.j == 0));
+        assert_eq!(bs[0].i, 0);
+        assert_eq!(bs[1].i, 4);
+        assert_eq!(bs[2].i, 8);
+        assert_eq!(bs[2].d1, 2);
+        // Ragged last column block.
+        assert_eq!(bs[8].j, 6);
+        assert_eq!(bs[8].n1, 1);
+    }
+
+    #[test]
+    fn blocks_disjoint() {
+        let cfg = SketchConfig::new(9, 2, 2, 0);
+        let bs = blocks(&cfg, 5);
+        let mut covered = [false; 9 * 5];
+        for b in bs {
+            for di in 0..b.d1 {
+                for dj in 0..b.n1 {
+                    let cell = (b.i + di) * 5 + (b.j + dj);
+                    assert!(!covered[cell], "cell covered twice");
+                    covered[cell] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn single_block_when_sizes_exceed_dims() {
+        let cfg = SketchConfig::new(5, 100, 100, 0);
+        let bs = blocks(&cfg, 3);
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs[0], OuterBlock { i: 0, d1: 5, j: 0, n1: 3 });
+    }
+
+    #[test]
+    fn empty_matrix_no_blocks() {
+        let cfg = SketchConfig::new(5, 2, 2, 0);
+        assert!(blocks(&cfg, 0).is_empty());
+    }
+
+    #[test]
+    fn drive_visits_all() {
+        let cfg = SketchConfig::new(6, 5, 2, 0);
+        let mut seen = Vec::new();
+        drive(&cfg, 4, |b| seen.push(b));
+        assert_eq!(seen, blocks(&cfg, 4));
+    }
+}

@@ -1,0 +1,129 @@
+//! Sketch configuration: sketch size, blocking parameters, flop accounting.
+
+/// Parameters of a sketching SpMM run.
+///
+/// `d` is the number of rows of the implicit `S` (the paper uses `d = γ·n`
+/// with `γ = 3` for SpMM benchmarks and `γ = 2` for least squares); `b_d` and
+/// `b_n` are Algorithm 1's block sizes along the `d` and `n` dimensions. The
+/// inner (`m`) dimension is never blocked (paper §II-A: CSC gives few caching
+/// opportunities there and it is harder to parallelize over).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SketchConfig {
+    /// Sketch size: number of rows of `S` and `Â`.
+    pub d: usize,
+    /// Block size along the `d` dimension.
+    pub b_d: usize,
+    /// Block size along the `n` dimension.
+    pub b_n: usize,
+    /// Master seed defining the random matrix `S`.
+    pub seed: u64,
+}
+
+impl SketchConfig {
+    /// Create a configuration; block sizes are clamped to at least 1.
+    pub fn new(d: usize, b_d: usize, b_n: usize, seed: u64) -> Self {
+        assert!(d > 0, "sketch size must be positive");
+        Self {
+            d,
+            b_d: b_d.max(1),
+            b_n: b_n.max(1),
+            seed,
+        }
+    }
+
+    /// The paper's Frontera SpMM setting: `b_n = 500`, `b_d = 3000`.
+    pub fn frontera(d: usize, seed: u64) -> Self {
+        Self::new(d, 3000, 500, seed)
+    }
+
+    /// The paper's Perlmutter SpMM setting: `b_n = 1200`, `b_d = 3000`.
+    pub fn perlmutter(d: usize, seed: u64) -> Self {
+        Self::new(d, 3000, 1200, seed)
+    }
+
+    /// Sketch size for a given `n` and oversampling factor γ (`d = γ·n`).
+    pub fn gamma(n: usize, gamma: usize, b_d: usize, b_n: usize, seed: u64) -> Self {
+        Self::new(gamma * n, b_d, b_n, seed)
+    }
+
+    /// Number of `d`-blocks for this configuration.
+    pub fn d_blocks(&self) -> usize {
+        self.d.div_ceil(self.b_d)
+    }
+
+    /// Number of `n`-blocks for a matrix with `n` columns.
+    pub fn n_blocks(&self, n: usize) -> usize {
+        n.div_ceil(self.b_n).max(1)
+    }
+}
+
+/// Useful flop count of the sketch `S·A`: one multiply-add per (row of `S`,
+/// nonzero of `A`) pair. This is the convention behind the paper's GFlops
+/// numbers in Table VII.
+pub fn flops(d: usize, nnz: usize) -> u64 {
+    2 * d as u64 * nnz as u64
+}
+
+/// Random samples Algorithm 3 draws: `d` per nonzero of `A` (paper §III-B:
+/// "it will always generate d × nnz(A) random numbers").
+pub fn alg3_samples(d: usize, nnz: usize) -> u64 {
+    d as u64 * nnz as u64
+}
+
+/// Worst-case samples Algorithm 4 draws: `d` per (nonempty row, vertical
+/// block) pair, bounded by `⌈n/b_n⌉·m·d` (paper §III-B).
+pub fn alg4_samples_worst(d: usize, m: usize, n: usize, b_n: usize) -> u64 {
+    n.div_ceil(b_n).max(1) as u64 * m as u64 * d as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_counts() {
+        let cfg = SketchConfig::new(100, 30, 7, 0);
+        assert_eq!(cfg.d_blocks(), 4);
+        assert_eq!(cfg.n_blocks(20), 3);
+        assert_eq!(cfg.n_blocks(21), 3);
+        assert_eq!(cfg.n_blocks(22), 4);
+        assert_eq!(cfg.n_blocks(0), 1);
+    }
+
+    #[test]
+    fn presets_match_paper() {
+        let f = SketchConfig::frontera(300, 1);
+        assert_eq!((f.b_n, f.b_d), (500, 3000));
+        let p = SketchConfig::perlmutter(300, 1);
+        assert_eq!((p.b_n, p.b_d), (1200, 3000));
+    }
+
+    #[test]
+    fn gamma_scaling() {
+        let cfg = SketchConfig::gamma(1000, 3, 100, 50, 2);
+        assert_eq!(cfg.d, 3000);
+    }
+
+    #[test]
+    fn zero_block_sizes_clamped() {
+        let cfg = SketchConfig::new(10, 0, 0, 0);
+        assert_eq!((cfg.b_d, cfg.b_n), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sketch_size_rejected() {
+        let _ = SketchConfig::new(0, 1, 1, 0);
+    }
+
+    #[test]
+    fn flop_and_sample_accounting() {
+        assert_eq!(flops(10, 100), 2000);
+        assert_eq!(alg3_samples(10, 100), 1000);
+        // 2 blocks of columns, all m rows, d samples each.
+        assert_eq!(alg4_samples_worst(10, 50, 20, 10), 2 * 50 * 10);
+        // Alg 4 never draws more than Alg 3 when the matrix is fully dense:
+        // nnz = m*n, blocks = n/b_n → alg4 = alg3 / b_n.
+        assert!(alg4_samples_worst(10, 50, 20, 10) < alg3_samples(10, 50 * 20));
+    }
+}

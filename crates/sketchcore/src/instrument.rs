@@ -1,0 +1,203 @@
+//! Timing instrumentation: the sample-time vs total-time split of paper
+//! Tables III and V.
+//!
+//! The instrumented drivers time every `fill` call with `Instant`, exactly
+//! as the paper's Julia implementation wrapped its RNG calls — and inherit
+//! the same caveat: "the total times are slightly higher than those reported
+//! [without instrumentation] since the timer creates additional overhead".
+
+use crate::config::SketchConfig;
+use densekit::Matrix;
+use rngkit::BlockSampler;
+use sparsekit::{BlockedCsr, CscMatrix, Scalar};
+use std::time::Instant;
+
+/// Timing breakdown of one sketch computation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SketchTiming {
+    /// Wall-clock total, seconds.
+    pub total_s: f64,
+    /// Time spent inside the sampler's `fill` (random generation), seconds.
+    pub sample_s: f64,
+    /// Number of samples drawn.
+    pub samples: u64,
+    /// Number of `set_state` checkpoint seeks performed.
+    pub seeks: u64,
+}
+
+impl SketchTiming {
+    /// Compute time excluding generation.
+    pub fn compute_s(&self) -> f64 {
+        (self.total_s - self.sample_s).max(0.0)
+    }
+}
+
+/// Algorithm 3 with per-fill timing. Returns the sketch and the breakdown.
+pub fn sketch_alg3_instrumented<T, S>(
+    a: &CscMatrix<T>,
+    cfg: &SketchConfig,
+    sampler: &S,
+) -> (Matrix<T>, SketchTiming)
+where
+    T: Scalar,
+    S: BlockSampler<T> + Clone,
+{
+    let t0 = Instant::now();
+    let mut sampler = sampler.clone();
+    let mut ahat = Matrix::zeros(cfg.d, a.ncols());
+    let mut v = vec![T::ZERO; cfg.b_d.min(cfg.d)];
+    let mut timing = SketchTiming::default();
+
+    let n = a.ncols();
+    let mut j = 0;
+    while j < n {
+        let n1 = cfg.b_n.min(n - j);
+        let mut i = 0;
+        while i < cfg.d {
+            let d1 = cfg.b_d.min(cfg.d - i);
+            let vv = &mut v[..d1];
+            for k in j..j + n1 {
+                let (rows, vals) = a.col(k);
+                let out = &mut ahat.col_mut(k)[i..i + d1];
+                for (&jj, &ajk) in rows.iter().zip(vals.iter()) {
+                    let ts = Instant::now();
+                    sampler.set_state(i, jj);
+                    sampler.fill(vv);
+                    timing.sample_s += ts.elapsed().as_secs_f64();
+                    timing.samples += d1 as u64;
+                    timing.seeks += 1;
+                    for (o, &s) in out.iter_mut().zip(vv.iter()) {
+                        *o = ajk.mul_add(s, *o);
+                    }
+                }
+            }
+            i += cfg.b_d;
+        }
+        j += cfg.b_n;
+    }
+    timing.total_s = t0.elapsed().as_secs_f64();
+    (ahat, timing)
+}
+
+/// Algorithm 4 with per-fill timing.
+pub fn sketch_alg4_instrumented<T, S>(
+    a: &BlockedCsr<T>,
+    cfg: &SketchConfig,
+    sampler: &S,
+) -> (Matrix<T>, SketchTiming)
+where
+    T: Scalar,
+    S: BlockSampler<T> + Clone,
+{
+    let t0 = Instant::now();
+    let mut sampler = sampler.clone();
+    let mut ahat = Matrix::zeros(cfg.d, a.ncols());
+    let mut v = vec![T::ZERO; cfg.b_d.min(cfg.d)];
+    let mut timing = SketchTiming::default();
+
+    for b in 0..a.nblocks() {
+        let csr = a.block(b);
+        let j0 = a.block_col_offset(b);
+        let mut i = 0;
+        while i < cfg.d {
+            let d1 = cfg.b_d.min(cfg.d - i);
+            let vv = &mut v[..d1];
+            for j in 0..csr.nrows() {
+                let (cols, vals) = csr.row(j);
+                if cols.is_empty() {
+                    continue;
+                }
+                let ts = Instant::now();
+                sampler.set_state(i, j);
+                sampler.fill(vv);
+                timing.sample_s += ts.elapsed().as_secs_f64();
+                timing.samples += d1 as u64;
+                timing.seeks += 1;
+                for (&kl, &ajk) in cols.iter().zip(vals.iter()) {
+                    let out = &mut ahat.col_mut(j0 + kl)[i..i + d1];
+                    for (o, &s) in out.iter_mut().zip(vv.iter()) {
+                        *o = ajk.mul_add(s, *o);
+                    }
+                }
+            }
+            i += cfg.b_d;
+        }
+    }
+    timing.total_s = t0.elapsed().as_secs_f64();
+    (ahat, timing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg3::sketch_alg3;
+    use crate::alg4::sketch_alg4;
+    use rngkit::{CheckpointRng, UnitUniform, Xoshiro256PlusPlus};
+
+    type Rng = CheckpointRng<Xoshiro256PlusPlus>;
+
+    fn random_csc(m: usize, n: usize, nnz: usize, seed: u64) -> CscMatrix<f64> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 11
+        };
+        let mut coo = sparsekit::CooMatrix::new(m, n);
+        for _ in 0..nnz {
+            coo.push(
+                (next() % m as u64) as usize,
+                (next() % n as u64) as usize,
+                (next() % 1000) as f64 / 500.0 - 0.9995,
+            )
+            .unwrap();
+        }
+        coo.to_csc().unwrap()
+    }
+
+    #[test]
+    fn instrumented_alg3_matches_plain() {
+        let a = random_csc(40, 25, 150, 1);
+        let cfg = SketchConfig::new(20, 7, 6, 3);
+        let sampler = UnitUniform::<f64>::sampler(Rng::new(cfg.seed));
+        let plain = sketch_alg3(&a, &cfg, &sampler);
+        let (inst, t) = sketch_alg3_instrumented(&a, &cfg, &sampler);
+        assert_eq!(plain, inst);
+        assert!(t.total_s >= 0.0 && t.sample_s >= 0.0);
+        assert!(t.sample_s <= t.total_s + 1e-9);
+        // Alg 3 draws exactly d per nonzero (sum over blocks of d1 = d).
+        assert_eq!(t.samples, crate::config::alg3_samples(cfg.d, a.nnz()));
+        assert_eq!(t.seeks, a.nnz() as u64 * cfg.d_blocks() as u64);
+    }
+
+    #[test]
+    fn instrumented_alg4_matches_plain_and_draws_fewer() {
+        let a = random_csc(60, 30, 400, 2);
+        let cfg = SketchConfig::new(24, 8, 10, 5);
+        let blocked = BlockedCsr::from_csc(&a, cfg.b_n);
+        let sampler = UnitUniform::<f64>::sampler(Rng::new(cfg.seed));
+        let plain = sketch_alg4(&blocked, &cfg, &sampler);
+        let (inst, t4) = sketch_alg4_instrumented(&blocked, &cfg, &sampler);
+        assert_eq!(plain, inst);
+        assert_eq!(t4.samples, crate::alg4::alg4_samples_actual(&blocked, cfg.d));
+        // With 400 nnz in 30 cols (avg row occupancy > 1 per block), Alg 4
+        // must draw strictly fewer samples than Alg 3.
+        let (_i3, t3) = sketch_alg3_instrumented(&a, &cfg, &sampler);
+        assert!(
+            t4.samples < t3.samples,
+            "alg4 drew {} vs alg3 {}",
+            t4.samples,
+            t3.samples
+        );
+    }
+
+    #[test]
+    fn compute_time_nonnegative() {
+        let t = SketchTiming {
+            total_s: 1.0,
+            sample_s: 1.5, // timer jitter can nominally exceed total
+            samples: 0,
+            seeks: 0,
+        };
+        assert_eq!(t.compute_s(), 0.0);
+    }
+}

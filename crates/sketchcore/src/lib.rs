@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+//! # sketchcore — sketching SpMM with blocking and on-the-fly RNG
+//!
+//! This crate implements the primary contribution of Liang, Murray, Buluç &
+//! Demmel (IPPS 2024): computing `Â = S·A` where `A ∈ R^{m×n}` is a tall
+//! sparse matrix (CSC) and `S ∈ R^{d×m}` is an *implicit* iid random matrix
+//! whose entries are regenerated on demand instead of being stored. Trading
+//! memory traffic for recomputation raises the kernel's computational
+//! intensity past the GEMM lower bound — by a factor of `√M` in the model of
+//! paper §III-A (see [`model`]).
+//!
+//! Layout of the crate follows the paper:
+//!
+//! * [`config`] — blocking parameters `(b_d, b_n)`, sketch size `d = γ·n`,
+//!   flop accounting.
+//! * [`alg1`] — the outer blocking driver (paper Algorithm 1):
+//!   `(⌈d/b_d⌉, 1, ⌈n/b_n⌉)`-blocking with the column loop outermost.
+//! * [`alg3`] — compute kernel variant `kji` with RNG (paper Algorithm 3):
+//!   consumes plain CSC, strided access to all three operands, regenerates a
+//!   column of `S` per nonzero of `A`. Pattern-oblivious.
+//! * [`alg4`] — compute kernel variant `jki` with RNG (paper Algorithm 4):
+//!   consumes [`sparsekit::BlockedCsr`], regenerates a column of `S` once per
+//!   *row* of each vertical block, reusing it across that row's nonzeros —
+//!   fewer samples, less regular access.
+//! * [`variants`] — all six `i/j/k` loop orderings of the toy kernel from
+//!   paper §II-B, kept as executable documentation of the design-space
+//!   argument (why `ikj`, `kij`, `ijk` and `jik` are ruled out).
+//! * [`parallel`] — rayon parallelizations of Algorithm 1's two outer loops
+//!   (paper §II-C): over column panels or over row stripes of `Â`.
+//! * [`instrument`] — sample-time vs total-time split (paper Tables III/V).
+//! * [`model`] — the roofline/computational-intensity model of §III-A, with
+//!   the block-size optimizer of eq. (4) and the closed forms (5)–(7).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sketchcore::{SketchConfig, sketch_alg3};
+//! use rngkit::{CheckpointRng, UnitUniform, Xoshiro256PlusPlus};
+//! use sparsekit::CscMatrix;
+//!
+//! let a = CscMatrix::<f64>::identity(100);      // toy sparse input
+//! let cfg = SketchConfig::new(300, 64, 32, 7);  // d=300, b_d=64, b_n=32, seed
+//! let sampler = UnitUniform::<f64>::sampler(CheckpointRng::<Xoshiro256PlusPlus>::new(cfg.seed));
+//! let sketch = sketch_alg3(&a, &cfg, &sampler);
+//! assert_eq!((sketch.nrows(), sketch.ncols()), (300, 100));
+//! ```
+
+pub mod alg1;
+pub mod alg3;
+pub mod alg4;
+pub mod config;
+pub mod instrument;
+pub mod model;
+pub mod parallel;
+pub mod pattern_model;
+pub mod variants;
+
+pub use alg3::{sketch_alg3, sketch_alg3_signs};
+pub use alg4::{sketch_alg4, sketch_alg4_signs};
+pub use config::{flops, SketchConfig};
+pub use instrument::{sketch_alg3_instrumented, sketch_alg4_instrumented, SketchTiming};
+pub use model::{CostModel, ModelPrediction};
+pub use pattern_model::{predict_kernels, profile_pattern, tune_b_n, KernelCosts, PatternProfile};
+pub use parallel::{sketch_alg3_par_cols, sketch_alg3_par_rows, sketch_alg4_par_rows};

@@ -1,0 +1,252 @@
+//! The roofline / computational-intensity model of paper §III-A.
+//!
+//! The model measures RNG cost relative to memory access (`h` < 1 means
+//! generating an entry of `S` is cheaper than reading it from DRAM), assumes
+//! a one-level cache of `M` words and a uniformly-dense sparse matrix of
+//! density `ρ`, and optimizes the block sizes `(d₁, m₁, n₁)` in
+//!
+//! ```text
+//! minimize   d·m·n·(M + h·d₁·m₁·(1 − (1 − ρ)^{n₁})) / (d₁·m₁·n₁)
+//! subject to d₁·n₁ + m₁·n₁·ρ ≤ M            (eq. 4)
+//! ```
+//!
+//! with `d₁ = M/(2n₁)`, `m₁ = M/(2n₁ρ)` saturating the cache constraint.
+//! Closed forms: CI = `2M/(4 + M·h)` at small ρ (eq. 5), fraction of peak
+//! `O(M/B)` when `h` is small (eq. 6 — a factor `√M` beyond GEMM's
+//! `O(√M/B)`), and `√(Mρ)/(2B√h)` at large ρ with `n₁* = √(hM)/(2√ρ)`
+//! (eq. 7).
+
+/// Machine/model parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Cache size `M` in matrix elements.
+    pub cache_size: f64,
+    /// Cost of generating one random number relative to one memory access
+    /// (`h`; the regeneration regime assumes `h < 1`).
+    pub h: f64,
+    /// Machine balance `B` = peak flops / memory bandwidth (flops per word).
+    pub machine_balance: f64,
+}
+
+/// Output of the block-size optimization.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelPrediction {
+    /// Optimal block size along `d`.
+    pub d1: f64,
+    /// Optimal block size along `m`.
+    pub m1: f64,
+    /// Optimal block size along `n`.
+    pub n1: f64,
+    /// Computational intensity at the optimum (flops per word moved, with
+    /// generation folded in at cost `h`).
+    pub ci: f64,
+    /// Fraction of machine peak `min(1, CI/B)`.
+    pub frac_peak: f64,
+}
+
+impl CostModel {
+    /// Construct a model; all parameters must be positive.
+    pub fn new(cache_size: f64, h: f64, machine_balance: f64) -> Self {
+        assert!(
+            cache_size > 0.0 && h > 0.0 && machine_balance > 0.0,
+            "model parameters must be positive"
+        );
+        Self {
+            cache_size,
+            h,
+            machine_balance,
+        }
+    }
+
+    /// Reciprocal-CI objective per unit of `d·m·n·ρ` work, as a function of
+    /// `n₁` (the unconstrained reduction in §III-A):
+    /// `4·n₁·ρ/M + h·(1 − (1−ρ)^{n₁})/n₁`, scaled so that its inverse times 2
+    /// is the CI.
+    pub fn objective(&self, rho: f64, n1: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&rho) && rho > 0.0, "need 0 < ρ ≤ 1");
+        assert!(n1 >= 1.0);
+        let gen = 1.0 - (1.0 - rho).powf(n1);
+        4.0 * n1 * rho / self.cache_size + self.h * gen / n1
+    }
+
+    /// Computational intensity for a given `n₁` (blocks saturate the cache).
+    pub fn ci_at(&self, rho: f64, n1: f64) -> f64 {
+        2.0 * rho / self.objective(rho, n1)
+    }
+
+    /// Numerically optimize `n₁` on a log grid with local refinement.
+    pub fn optimize(&self, rho: f64) -> ModelPrediction {
+        let mut best_n1 = 1.0f64;
+        let mut best = self.objective(rho, 1.0);
+        // Log sweep up to the point where a block of one column fills cache.
+        let n1_max = (self.cache_size / 2.0).max(1.0);
+        let mut n1 = 1.0f64;
+        while n1 <= n1_max {
+            let f = self.objective(rho, n1);
+            if f < best {
+                best = f;
+                best_n1 = n1;
+            }
+            n1 *= 1.02;
+        }
+        // Local refinement around the winner.
+        for k in -100..=100 {
+            let cand = best_n1 * (1.0 + k as f64 * 1e-4);
+            if cand >= 1.0 && cand <= n1_max {
+                let f = self.objective(rho, cand);
+                if f < best {
+                    best = f;
+                    best_n1 = cand;
+                }
+            }
+        }
+        let ci = 2.0 * rho / best;
+        ModelPrediction {
+            d1: self.cache_size / (2.0 * best_n1),
+            m1: self.cache_size / (2.0 * best_n1 * rho),
+            n1: best_n1,
+            ci,
+            frac_peak: (ci / self.machine_balance).min(1.0),
+        }
+    }
+
+    /// Closed-form CI in the small-ρ regime (eq. 5): `2M / (4 + M·h)`.
+    pub fn ci_small_rho(&self) -> f64 {
+        2.0 * self.cache_size / (4.0 + self.cache_size * self.h)
+    }
+
+    /// Closed-form fraction of peak at small ρ and small `h` (eq. 6):
+    /// `M/(2B)` up to constants — the `√M`-beyond-GEMM headline.
+    pub fn frac_peak_small_rho(&self) -> f64 {
+        (self.ci_small_rho() / self.machine_balance).min(1.0)
+    }
+
+    /// Closed-form optimal `n₁` in the large-ρ regime: `√(h·M)/(2√ρ)`.
+    pub fn n1_star_large_rho(&self, rho: f64) -> f64 {
+        ((self.h * self.cache_size).sqrt() / (2.0 * rho.sqrt())).max(1.0)
+    }
+
+    /// Closed-form fraction of peak in the large-ρ regime (eq. 7):
+    /// `√(M·ρ) / (2·B·√h)`.
+    pub fn frac_peak_large_rho(&self, rho: f64) -> f64 {
+        ((self.cache_size * rho).sqrt() / (2.0 * self.machine_balance * self.h.sqrt())).min(1.0)
+    }
+
+    /// GEMM's fraction of peak under the same model, `√M/B` — the baseline
+    /// the sketching kernel beats by `√M` when `h` is small.
+    pub fn gemm_frac_peak(&self) -> f64 {
+        (self.cache_size.sqrt() / self.machine_balance).min(1.0)
+    }
+
+    /// The regeneration-vs-precompute break-even: regenerating only pays
+    /// when `h < 1`.
+    pub fn regeneration_profitable(&self) -> bool {
+        self.h < 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        // M = 4 Mi doubles (32 MiB cache), h = 0.1, B = 50 flops/word.
+        CostModel::new(4.0 * 1024.0 * 1024.0, 0.1, 50.0)
+    }
+
+    #[test]
+    fn small_rho_optimum_is_n1_equals_1() {
+        let m = model();
+        let p = m.optimize(1e-6);
+        assert!(
+            p.n1 < 1.5,
+            "small-ρ optimum should be n₁ ≈ 1, got {}",
+            p.n1
+        );
+        // CI matches the closed form within grid tolerance.
+        let rel = (p.ci - m.ci_small_rho()).abs() / m.ci_small_rho();
+        assert!(rel < 0.05, "CI {} vs closed form {}", p.ci, m.ci_small_rho());
+    }
+
+    #[test]
+    fn large_rho_optimum_matches_closed_form() {
+        let m = model();
+        let rho = 0.9;
+        let p = m.optimize(rho);
+        let star = m.n1_star_large_rho(rho);
+        let rel = (p.n1 - star).abs() / star;
+        assert!(rel < 0.1, "n₁ {} vs closed form {}", p.n1, star);
+    }
+
+    #[test]
+    fn optimizer_beats_naive_n1_choices() {
+        let m = model();
+        for rho in [1e-5, 1e-3, 0.05, 0.5, 0.99] {
+            let p = m.optimize(rho);
+            let f_opt = m.objective(rho, p.n1);
+            for n1 in [1.0, 10.0, 100.0, 1000.0] {
+                assert!(
+                    f_opt <= m.objective(rho, n1) * (1.0 + 1e-9),
+                    "optimizer lost to n₁={n1} at ρ={rho}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beats_gemm_by_sqrt_m_when_h_small() {
+        // h → 0: CI → M/2, GEMM CI ~ √M. The ratio should be ~√M/2.
+        let m = CostModel::new(1e6, 1e-9, 1e9); // huge B so frac_peak ≪ 1
+        let sketch = m.frac_peak_small_rho();
+        let gemm = m.gemm_frac_peak();
+        let ratio = sketch / gemm;
+        let sqrt_m = (1e6f64).sqrt();
+        assert!(
+            ratio > 0.2 * sqrt_m && ratio < 2.0 * sqrt_m,
+            "expected ~√M gain, got {ratio} (√M = {sqrt_m})"
+        );
+    }
+
+    #[test]
+    fn large_h_kills_the_advantage() {
+        // h = 1 (generation as expensive as memory): CI ≈ 2/h = 2, no win.
+        let m = CostModel::new(1e6, 1.0, 50.0);
+        assert!(m.ci_small_rho() < 2.1);
+        assert!(!CostModel::new(1e6, 1.5, 50.0).regeneration_profitable());
+        assert!(!m.regeneration_profitable() || m.h < 1.0);
+    }
+
+    #[test]
+    fn cache_constraint_respected_at_optimum() {
+        let m = model();
+        for rho in [1e-4, 0.01, 0.5] {
+            let p = m.optimize(rho);
+            let used = p.d1 * p.n1 + p.m1 * p.n1 * rho;
+            assert!(
+                used <= m.cache_size * 1.0001,
+                "cache overcommitted: {} > {}",
+                used,
+                m.cache_size
+            );
+        }
+    }
+
+    #[test]
+    fn frac_peak_clamped_to_one() {
+        let m = CostModel::new(1e8, 1e-6, 1.0);
+        assert_eq!(m.frac_peak_small_rho(), 1.0);
+        assert_eq!(m.optimize(1e-6).frac_peak, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_parameters_rejected() {
+        let _ = CostModel::new(0.0, 0.1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < ρ")]
+    fn bad_density_rejected() {
+        model().objective(0.0, 1.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Parallel drivers — rayon parallelization of Algorithm 1's outer loops.
+//!
+//! The paper (§II-C) parallelizes either of the two outer loops; both options
+//! are provided:
+//!
+//! * **Column panels** (`par_cols`): each worker owns a disjoint panel of
+//!   `b_n` columns of `Â` — expressible as safe disjoint `&mut` chunks of the
+//!   column-major buffer.
+//! * **Row stripes** (`par_rows`): each worker owns a `b_d`-row stripe of
+//!   `Â` across all columns. Stripes of a column-major matrix are not
+//!   contiguous, so this driver uses a raw-pointer window with a manual
+//!   disjointness argument (see `StripeWriter`).
+//!
+//! Because every checkpoint `(i, j)` regenerates the same entries of `S`
+//! regardless of which thread asks, the parallel results are bit-identical
+//! to the sequential ones — the determinism test below pins this down.
+
+use crate::alg1::OuterBlock;
+use crate::config::SketchConfig;
+use densekit::Matrix;
+use rngkit::BlockSampler;
+use sparsekit::{BlockedCsr, CscMatrix, Scalar};
+use rayon::prelude::*;
+
+/// Algorithm 3 parallelized over column panels of `Â` (the `j` loop).
+pub fn sketch_alg3_par_cols<T, S>(a: &CscMatrix<T>, cfg: &SketchConfig, sampler: &S) -> Matrix<T>
+where
+    T: Scalar,
+    S: BlockSampler<T> + Clone + Send + Sync,
+{
+    let d = cfg.d;
+    let mut ahat = Matrix::zeros(d, a.ncols());
+    ahat.as_mut_slice()
+        .par_chunks_mut(d * cfg.b_n)
+        .enumerate()
+        .for_each(|(p, panel)| {
+            let j0 = p * cfg.b_n;
+            let n1 = panel.len() / d;
+            let mut sampler = sampler.clone();
+            let mut i = 0;
+            while i < d {
+                let d1 = cfg.b_d.min(d - i);
+                for kl in 0..n1 {
+                    let (rows, vals) = a.col(j0 + kl);
+                    let out = &mut panel[kl * d + i..kl * d + i + d1];
+                    for (&j, &ajk) in rows.iter().zip(vals.iter()) {
+                        sampler.set_state(i, j);
+                        sampler.fill_axpy(ajk, out);
+                    }
+                }
+                i += cfg.b_d;
+            }
+        });
+    ahat
+}
+
+/// A window granting write access to one row stripe of a column-major
+/// matrix.
+///
+/// # Safety argument
+/// `par_rows` creates one `StripeWriter` per `b_d`-row stripe. Stripe `t`
+/// touches only elements `col·d + i .. col·d + i + d1` with
+/// `i = t·b_d`, `d1 ≤ b_d`, so element sets of distinct stripes are disjoint
+/// for every column. No two workers ever alias the same element, and the
+/// parent borrow outlives the scope — the standard tiled-output pattern.
+struct StripeWriter<T> {
+    base: *mut T,
+    d: usize,
+    i: usize,
+    d1: usize,
+}
+
+unsafe impl<T: Send> Send for StripeWriter<T> {}
+
+impl<T: Scalar> StripeWriter<T> {
+    /// The `d1` contiguous elements of column `col` inside this stripe.
+    #[inline(always)]
+    fn col_segment(&mut self, col: usize) -> &mut [T] {
+        // SAFETY: see the type-level disjointness argument; `col·d + i + d1`
+        // stays within the allocation because callers construct stripes from
+        // the owning matrix's dimensions.
+        unsafe { std::slice::from_raw_parts_mut(self.base.add(col * self.d + self.i), self.d1) }
+    }
+}
+
+/// Algorithm 3 parallelized over row stripes of `Â` (the `i` loop).
+pub fn sketch_alg3_par_rows<T, S>(a: &CscMatrix<T>, cfg: &SketchConfig, sampler: &S) -> Matrix<T>
+where
+    T: Scalar,
+    S: BlockSampler<T> + Clone + Send + Sync,
+{
+    let d = cfg.d;
+    let n = a.ncols();
+    let mut ahat = Matrix::zeros(d, n);
+    let base = ahat.as_mut_slice().as_mut_ptr();
+
+    let stripes: Vec<StripeWriter<T>> = (0..d)
+        .step_by(cfg.b_d)
+        .map(|i| StripeWriter {
+            base,
+            d,
+            i,
+            d1: cfg.b_d.min(d - i),
+        })
+        .collect();
+
+    stripes.into_par_iter().for_each(|mut stripe| {
+        let mut sampler = sampler.clone();
+        let i = stripe.i;
+        // Keep Algorithm 1's column-block-outermost order inside the stripe.
+        let mut j = 0;
+        while j < n {
+            let n1 = cfg.b_n.min(n - j);
+            for k in j..j + n1 {
+                let (rows, vals) = a.col(k);
+                let out = stripe.col_segment(k);
+                for (&jj, &ajk) in rows.iter().zip(vals.iter()) {
+                    sampler.set_state(i, jj);
+                    sampler.fill_axpy(ajk, out);
+                }
+            }
+            j += cfg.b_n;
+        }
+    });
+    ahat
+}
+
+/// Algorithm 4 parallelized over row stripes of `Â` (the `i` loop).
+pub fn sketch_alg4_par_rows<T, S>(a: &BlockedCsr<T>, cfg: &SketchConfig, sampler: &S) -> Matrix<T>
+where
+    T: Scalar,
+    S: BlockSampler<T> + Clone + Send + Sync,
+{
+    let d = cfg.d;
+    let n = a.ncols();
+    let mut ahat = Matrix::zeros(d, n);
+    let base = ahat.as_mut_slice().as_mut_ptr();
+
+    let stripes: Vec<StripeWriter<T>> = (0..d)
+        .step_by(cfg.b_d)
+        .map(|i| StripeWriter {
+            base,
+            d,
+            i,
+            d1: cfg.b_d.min(d - i),
+        })
+        .collect();
+
+    stripes.into_par_iter().for_each(|mut stripe| {
+        let mut sampler = sampler.clone();
+        let mut v = vec![T::ZERO; stripe.d1];
+        let (i, d1) = (stripe.i, stripe.d1);
+        for b in 0..a.nblocks() {
+            let csr = a.block(b);
+            let j0 = a.block_col_offset(b);
+            for j in 0..csr.nrows() {
+                let (cols, vals) = csr.row(j);
+                if cols.is_empty() {
+                    continue;
+                }
+                sampler.set_state(i, j);
+                sampler.fill(&mut v[..d1]);
+                for (&kl, &ajk) in cols.iter().zip(vals.iter()) {
+                    let out = stripe.col_segment(j0 + kl);
+                    for (o, &s) in out.iter_mut().zip(v.iter()) {
+                        *o = ajk.mul_add(s, *o);
+                    }
+                }
+            }
+        }
+    });
+    ahat
+}
+
+/// Algorithm 4 parallelized over vertical blocks (column panels).
+pub fn sketch_alg4_par_cols<T, S>(a: &BlockedCsr<T>, cfg: &SketchConfig, sampler: &S) -> Matrix<T>
+where
+    T: Scalar,
+    S: BlockSampler<T> + Clone + Send + Sync,
+{
+    let d = cfg.d;
+    let bw = a.block_width();
+    let mut ahat = Matrix::zeros(d, a.ncols());
+    ahat.as_mut_slice()
+        .par_chunks_mut(d * bw)
+        .enumerate()
+        .for_each(|(b, panel)| {
+            let csr = a.block(b);
+            let mut sampler = sampler.clone();
+            let mut v = vec![T::ZERO; cfg.b_d.min(d)];
+            let mut i = 0;
+            while i < d {
+                let d1 = cfg.b_d.min(d - i);
+                let vv = &mut v[..d1];
+                for j in 0..csr.nrows() {
+                    let (cols, vals) = csr.row(j);
+                    if cols.is_empty() {
+                        continue;
+                    }
+                    sampler.set_state(i, j);
+                    sampler.fill(vv);
+                    for (&kl, &ajk) in cols.iter().zip(vals.iter()) {
+                        let out = &mut panel[kl * d + i..kl * d + i + d1];
+                        for (o, &s) in out.iter_mut().zip(vv.iter()) {
+                            *o = ajk.mul_add(s, *o);
+                        }
+                    }
+                }
+                i += cfg.b_d;
+            }
+        });
+    ahat
+}
+
+/// Run `f` on a dedicated rayon pool with `threads` workers — the Table VII
+/// thread-sweep helper.
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool")
+        .install(f)
+}
+
+// Re-exported for the drivers' shared block type.
+#[allow(unused_imports)]
+pub(crate) use crate::alg1::blocks as outer_blocks;
+#[allow(dead_code)]
+fn _type_check(_: OuterBlock) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg3::sketch_alg3;
+    use crate::alg4::sketch_alg4;
+    use rngkit::{CheckpointRng, UnitUniform, Xoshiro256PlusPlus};
+
+    type Rng = CheckpointRng<Xoshiro256PlusPlus>;
+
+    fn random_csc(m: usize, n: usize, nnz: usize, seed: u64) -> CscMatrix<f64> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 11
+        };
+        let mut coo = sparsekit::CooMatrix::new(m, n);
+        for _ in 0..nnz {
+            let r = (next() % m as u64) as usize;
+            let c = (next() % n as u64) as usize;
+            coo.push(r, c, (next() % 1000) as f64 / 500.0 - 1.0 + 0.0005)
+                .unwrap();
+        }
+        coo.to_csc().unwrap()
+    }
+
+    #[test]
+    fn par_cols_bit_identical_to_sequential() {
+        let a = random_csc(60, 40, 300, 1);
+        let cfg = SketchConfig::new(33, 9, 7, 5);
+        let sampler = UnitUniform::<f64>::sampler(Rng::new(cfg.seed));
+        let seq = sketch_alg3(&a, &cfg, &sampler);
+        let par = sketch_alg3_par_cols(&a, &cfg, &sampler);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_rows_bit_identical_to_sequential() {
+        let a = random_csc(60, 40, 300, 2);
+        let cfg = SketchConfig::new(33, 9, 7, 6);
+        let sampler = UnitUniform::<f64>::sampler(Rng::new(cfg.seed));
+        let seq = sketch_alg3(&a, &cfg, &sampler);
+        let par = sketch_alg3_par_rows(&a, &cfg, &sampler);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn alg4_parallel_variants_match() {
+        let a = random_csc(50, 30, 250, 3);
+        let cfg = SketchConfig::new(21, 8, 6, 7);
+        let blocked = BlockedCsr::from_csc(&a, cfg.b_n);
+        let sampler = UnitUniform::<f64>::sampler(Rng::new(cfg.seed));
+        let seq = sketch_alg4(&blocked, &cfg, &sampler);
+        let pr = sketch_alg4_par_rows(&blocked, &cfg, &sampler);
+        let pc = sketch_alg4_par_cols(&blocked, &cfg, &sampler);
+        assert_eq!(seq, pr);
+        assert_eq!(seq, pc);
+    }
+
+    #[test]
+    fn results_independent_of_thread_count() {
+        let a = random_csc(40, 30, 200, 4);
+        let cfg = SketchConfig::new(24, 6, 5, 9);
+        let sampler = UnitUniform::<f64>::sampler(Rng::new(cfg.seed));
+        let base = with_threads(1, || sketch_alg3_par_rows(&a, &cfg, &sampler));
+        for t in [2, 4] {
+            let out = with_threads(t, || sketch_alg3_par_rows(&a, &cfg, &sampler));
+            assert_eq!(base, out, "thread count {t} changed the sketch");
+        }
+    }
+
+    #[test]
+    fn ragged_edges_handled() {
+        // d and n not divisible by block sizes.
+        let a = random_csc(35, 23, 150, 8);
+        let cfg = SketchConfig::new(29, 10, 9, 3);
+        let sampler = UnitUniform::<f64>::sampler(Rng::new(cfg.seed));
+        let seq = sketch_alg3(&a, &cfg, &sampler);
+        assert_eq!(seq, sketch_alg3_par_cols(&a, &cfg, &sampler));
+        assert_eq!(seq, sketch_alg3_par_rows(&a, &cfg, &sampler));
+    }
+}

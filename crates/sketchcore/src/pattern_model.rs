@@ -1,0 +1,278 @@
+//! Pattern-aware cost model — the paper's stated future work ("extend our
+//! theoretical analysis to sparse matrices with non-uniform sparsity
+//! patterns", §VI).
+//!
+//! The §III-A model assumes uniform density, where the expected number of
+//! nonempty rows per vertical block has the closed form
+//! `m·(1 − (1−ρ)^{n₁})`. For a *given* matrix that expectation can simply be
+//! **measured**: count, for each candidate `b_n`, how many (row, block)
+//! pairs are nonempty. From those counts the model predicts Algorithm 4's
+//! sample volume exactly and estimates the Alg 3 / Alg 4 trade-off of
+//! Table VI without running either kernel.
+
+use crate::config::{alg3_samples, flops};
+use sparsekit::{CscMatrix, Scalar};
+
+/// Measured per-pattern statistics for one choice of `b_n`.
+#[derive(Clone, Copy, Debug)]
+pub struct PatternProfile {
+    /// Vertical block width measured.
+    pub b_n: usize,
+    /// Number of vertical blocks.
+    pub nblocks: usize,
+    /// Total nonempty (row, block) pairs — Algorithm 4 draws `d` samples per
+    /// pair.
+    pub nonempty_row_blocks: u64,
+    /// Average nonzeros per nonempty (row, block) pair — Algorithm 4's reuse
+    /// factor (Algorithm 3 has reuse 1 by construction).
+    pub reuse: f64,
+}
+
+/// Measure the pattern statistics of `a` for block width `b_n`, in one
+/// O(nnz + ⌈n/b_n⌉) pass (no blocked structure is built).
+pub fn profile_pattern<T: Scalar>(a: &CscMatrix<T>, b_n: usize) -> PatternProfile {
+    assert!(b_n > 0, "block width must be positive");
+    let nblocks = a.ncols().div_ceil(b_n).max(1);
+    // For each block, mark rows seen; count marks. Use a stamp array to
+    // avoid clearing an m-vector per block.
+    let m = a.nrows();
+    let mut stamp = vec![u32::MAX; m];
+    let mut nonempty: u64 = 0;
+    for blk in 0..nblocks {
+        let j0 = blk * b_n;
+        let j1 = (j0 + b_n).min(a.ncols());
+        for j in j0..j1 {
+            let (rows, _) = a.col(j);
+            for &r in rows {
+                if stamp[r] != blk as u32 {
+                    stamp[r] = blk as u32;
+                    nonempty += 1;
+                }
+            }
+        }
+    }
+    let reuse = if nonempty == 0 {
+        0.0
+    } else {
+        a.nnz() as f64 / nonempty as f64
+    };
+    PatternProfile {
+        b_n,
+        nblocks,
+        nonempty_row_blocks: nonempty,
+        reuse,
+    }
+}
+
+/// Predicted cost split between the two kernels for a given pattern.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelPrediction {
+    /// Samples Algorithm 3 will draw (`d·nnz`).
+    pub alg3_samples: u64,
+    /// Samples Algorithm 4 will draw (`d` per nonempty row-block pair).
+    pub alg4_samples: u64,
+    /// Useful flops (identical for both kernels).
+    pub flops: u64,
+    /// Predicted Alg 3 seconds = samples·t_gen + flops·t_flop.
+    pub alg3_seconds: f64,
+    /// Predicted Alg 4 seconds = samples·t_gen + flops·t_flop·penalty.
+    pub alg4_seconds: f64,
+}
+
+impl KernelPrediction {
+    /// Whether the model prefers Algorithm 4 for this pattern.
+    pub fn prefer_alg4(&self) -> bool {
+        self.alg4_seconds < self.alg3_seconds
+    }
+}
+
+/// Machine constants for the kernel-choice predictor.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelCosts {
+    /// Seconds per generated sample (measure with `repro stream`).
+    pub t_gen: f64,
+    /// Seconds per useful flop in the strided axpy.
+    pub t_flop: f64,
+    /// Multiplicative penalty on Algorithm 4's flops relative to
+    /// Algorithm 3's: Alg 4 applies its axpy through a buffered scratch
+    /// vector with pattern-dependent scatter, where Alg 3's fused path goes
+    /// register-to-memory (≈2x on the recorded host; closer to 1 on
+    /// machines with forgiving prefetchers — the paper's Perlmutter case).
+    pub alg4_scatter_penalty: f64,
+}
+
+impl Default for KernelCosts {
+    fn default() -> Self {
+        Self {
+            t_gen: 5e-10,
+            t_flop: 1e-10,
+            alg4_scatter_penalty: 2.0,
+        }
+    }
+}
+
+/// Predict both kernels' costs for `a` at sketch size `d`, block width `b_n`.
+pub fn predict_kernels<T: Scalar>(
+    a: &CscMatrix<T>,
+    d: usize,
+    b_n: usize,
+    costs: &KernelCosts,
+) -> KernelPrediction {
+    let prof = profile_pattern(a, b_n);
+    let s3 = alg3_samples(d, a.nnz());
+    let s4 = prof.nonempty_row_blocks * d as u64;
+    let fl = flops(d, a.nnz());
+    KernelPrediction {
+        alg3_samples: s3,
+        alg4_samples: s4,
+        flops: fl,
+        alg3_seconds: s3 as f64 * costs.t_gen + fl as f64 * costs.t_flop,
+        alg4_seconds: s4 as f64 * costs.t_gen
+            + fl as f64 * costs.t_flop * costs.alg4_scatter_penalty,
+    }
+}
+
+/// Choose the `b_n` (from a candidate list) minimizing Algorithm 4's sample
+/// volume for this pattern — the §III-B remark that "one could tune b_n to
+/// minimize the number of random variables generated".
+pub fn tune_b_n<T: Scalar>(a: &CscMatrix<T>, candidates: &[usize]) -> (usize, u64) {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    candidates
+        .iter()
+        .map(|&b_n| (b_n, profile_pattern(a, b_n).nonempty_row_blocks))
+        .min_by_key(|&(_, s)| s)
+        .expect("nonempty candidates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg4::alg4_samples_actual;
+    use sparsekit::BlockedCsr;
+
+    fn random_csc(m: usize, n: usize, nnz: usize, seed: u64) -> CscMatrix<f64> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 11
+        };
+        let mut coo = sparsekit::CooMatrix::new(m, n);
+        for _ in 0..nnz {
+            coo.push(
+                (next() % m as u64) as usize,
+                (next() % n as u64) as usize,
+                1.0,
+            )
+            .unwrap();
+        }
+        coo.to_csc().unwrap()
+    }
+
+    #[test]
+    fn profile_matches_blocked_structure_exactly() {
+        let a = random_csc(200, 80, 600, 3);
+        for b_n in [1, 7, 20, 80, 200] {
+            let prof = profile_pattern(&a, b_n);
+            let blocked = BlockedCsr::from_csc(&a, b_n);
+            let d = 13;
+            assert_eq!(
+                prof.nonempty_row_blocks * d as u64,
+                alg4_samples_actual(&blocked, d),
+                "profile mismatch at b_n = {b_n}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_rows_pattern_prefers_alg4() {
+        // Abnormal_A-like: few dense rows → massive reuse for Alg 4.
+        let mut coo = sparsekit::CooMatrix::new(1000, 200, );
+        for r in (0..1000).step_by(100) {
+            for c in 0..200 {
+                coo.push(r, c, 1.0).unwrap();
+            }
+        }
+        let a = coo.to_csc().unwrap();
+        let pred = predict_kernels(&a, 300, 50, &KernelCosts::default());
+        assert!(pred.alg4_samples * 10 < pred.alg3_samples);
+        assert!(pred.prefer_alg4());
+    }
+
+    #[test]
+    fn dense_columns_pattern_removes_alg4_advantage() {
+        // Abnormal_C-like: dense columns spaced wider than b_n → reuse ≈ 1.
+        let mut coo = sparsekit::CooMatrix::new(1000, 200, );
+        for c in (0..200).step_by(100) {
+            for r in 0..1000 {
+                coo.push(r, c, 1.0).unwrap();
+            }
+        }
+        let a = coo.to_csc().unwrap();
+        let prof = profile_pattern(&a, 50);
+        assert!((prof.reuse - 1.0).abs() < 1e-12, "reuse {}", prof.reuse);
+        let pred = predict_kernels(&a, 300, 50, &KernelCosts::default());
+        // Same samples, but Alg 4 pays the scatter penalty → prefer Alg 3.
+        assert_eq!(pred.alg3_samples, pred.alg4_samples);
+        assert!(!pred.prefer_alg4());
+    }
+
+    #[test]
+    fn tuning_picks_wider_blocks_for_row_dense_patterns() {
+        let mut coo = sparsekit::CooMatrix::new(400, 120, );
+        for r in (0..400).step_by(40) {
+            for c in 0..120 {
+                coo.push(r, c, 1.0).unwrap();
+            }
+        }
+        let a = coo.to_csc().unwrap();
+        let (best, samples) = tune_b_n(&a, &[1, 10, 40, 120]);
+        assert_eq!(best, 120, "widest block minimizes samples for dense rows");
+        assert_eq!(samples, 10); // 10 dense rows × 1 block
+    }
+
+    #[test]
+    fn uniform_pattern_agrees_with_closed_form() {
+        // E[nonempty pairs] = blocks · m · (1 − (1−ρ)^{b_n}).
+        let (m, n, rho) = (2000, 400, 0.01);
+        let a = crate_uniform(m, n, rho);
+        let b_n = 40;
+        let prof = profile_pattern(&a, b_n);
+        let blocks = n / b_n;
+        let expect = blocks as f64 * m as f64 * (1.0 - (1.0 - rho).powi(b_n as i32));
+        let rel = (prof.nonempty_row_blocks as f64 - expect).abs() / expect;
+        assert!(rel < 0.05, "measured {} vs model {expect}", prof.nonempty_row_blocks);
+    }
+
+    fn crate_uniform(m: usize, n: usize, rho: f64) -> CscMatrix<f64> {
+        // Inline Bernoulli generator (datagen would be a dependency cycle).
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut nextf = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut coo = sparsekit::CooMatrix::new(m, n);
+        for j in 0..n {
+            for i in 0..m {
+                if nextf() < rho {
+                    coo.push_unchecked(i, j, 1.0);
+                }
+            }
+        }
+        coo.to_csc().unwrap()
+    }
+
+    #[test]
+    fn empty_matrix_profile() {
+        let a = CscMatrix::<f64>::zeros(10, 5);
+        let prof = profile_pattern(&a, 2);
+        assert_eq!(prof.nonempty_row_blocks, 0);
+        assert_eq!(prof.reuse, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        let a = CscMatrix::<f64>::zeros(4, 4);
+        let _ = profile_pattern(&a, 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! The six loop-order variants of the toy compute kernel (paper §II-B).
+//!
+//! `G = L·R` with `L` dense (`d₁×m₁`) and `R` sparse (`m₁×n₁`). The paper
+//! enumerates all orderings of the `(i, j, k)` loops — `i` over rows of `L`,
+//! `j` over the inner dimension, `k` over columns of `R` — and rules out:
+//!
+//! * `ikj`/`kij` — need *non-contiguous* random generation (only the entries
+//!   of `ℓ̂ᵢ` matching nonzeros of `r_k` are required), which defeats
+//!   vectorized RNG;
+//! * `ijk` — sums rows of `R`, inefficient in any sparse format;
+//! * `jik` — updates `G` row-wise at positions dictated by sparse rows of
+//!   `R`, non-contiguous on a column-major `G`.
+//!
+//! Leaving `kji` (→ Algorithm 3) and `jki` (→ Algorithm 4). All six are
+//! implemented literally here, with an explicit `L`, as executable
+//! documentation; the equivalence tests pin down that the production kernels
+//! compute the same product, and the `loop_order` bench measures the gaps the
+//! paper argues from.
+
+use densekit::Matrix;
+use sparsekit::{CscMatrix, CsrMatrix, Scalar};
+
+/// `ikj`: for each row of `L`, for each inner index, update row `i` of `G`
+/// at the nonzero columns of row `j` of `R`. Needs `R` in CSR.
+pub fn variant_ikj<T: Scalar>(l: &Matrix<T>, r: &CsrMatrix<T>) -> Matrix<T> {
+    let (d1, m1, n1) = shape(l, r.nrows(), r.ncols());
+    let mut g = Matrix::zeros(d1, n1);
+    for i in 0..d1 {
+        for j in 0..m1 {
+            let lij = l[(i, j)];
+            let (cols, vals) = r.row(j);
+            for (&k, &rjk) in cols.iter().zip(vals.iter()) {
+                g[(i, k)] = lij.mul_add(rjk, g[(i, k)]);
+            }
+        }
+    }
+    g
+}
+
+/// `kij`: for each column of `R`, for each row of `L`, dot the needed
+/// entries. Column-major streaming through `G`.
+pub fn variant_kij<T: Scalar>(l: &Matrix<T>, r: &CscMatrix<T>) -> Matrix<T> {
+    let (d1, _m1, n1) = shape(l, r.nrows(), r.ncols());
+    let mut g = Matrix::zeros(d1, n1);
+    for k in 0..n1 {
+        let (rows, vals) = r.col(k);
+        for i in 0..d1 {
+            let mut acc = T::ZERO;
+            for (&j, &rjk) in rows.iter().zip(vals.iter()) {
+                acc = l[(i, j)].mul_add(rjk, acc);
+            }
+            g[(i, k)] = acc;
+        }
+    }
+    g
+}
+
+/// `ijk`: for each row of `L`, accumulate scaled *rows* of `R` — the variant
+/// the paper rules out as inefficient in every sparse format.
+pub fn variant_ijk<T: Scalar>(l: &Matrix<T>, r: &CsrMatrix<T>) -> Matrix<T> {
+    let (d1, m1, n1) = shape(l, r.nrows(), r.ncols());
+    let mut g = Matrix::zeros(d1, n1);
+    let mut row_acc = vec![T::ZERO; n1];
+    for i in 0..d1 {
+        row_acc.fill(T::ZERO);
+        for j in 0..m1 {
+            let lij = l[(i, j)];
+            let (cols, vals) = r.row(j);
+            for (&k, &rjk) in cols.iter().zip(vals.iter()) {
+                row_acc[k] = lij.mul_add(rjk, row_acc[k]);
+            }
+        }
+        for (k, &acc) in row_acc.iter().enumerate() {
+            g[(i, k)] = acc;
+        }
+    }
+    g
+}
+
+/// `jik`: rank-1 updates `ℓ_j·r̂_j`, applying each update in row-major order
+/// over `G` — non-contiguous column jumps per row.
+pub fn variant_jik<T: Scalar>(l: &Matrix<T>, r: &CsrMatrix<T>) -> Matrix<T> {
+    let (d1, m1, n1) = shape(l, r.nrows(), r.ncols());
+    let mut g = Matrix::zeros(d1, n1);
+    for j in 0..m1 {
+        let (cols, vals) = r.row(j);
+        if cols.is_empty() {
+            continue;
+        }
+        let lcol = l.col(j);
+        for i in 0..d1 {
+            let lij = lcol[i];
+            for (&k, &rjk) in cols.iter().zip(vals.iter()) {
+                g[(i, k)] = lij.mul_add(rjk, g[(i, k)]);
+            }
+        }
+    }
+    g
+}
+
+/// `jki`: rank-1 updates `ℓ_j·r̂_j`, column-major over `G` — the structure of
+/// Algorithm 4.
+pub fn variant_jki<T: Scalar>(l: &Matrix<T>, r: &CsrMatrix<T>) -> Matrix<T> {
+    let (d1, m1, n1) = shape(l, r.nrows(), r.ncols());
+    let mut g = Matrix::zeros(d1, n1);
+    for j in 0..m1 {
+        let (cols, vals) = r.row(j);
+        if cols.is_empty() {
+            continue;
+        }
+        let lcol = l.col(j);
+        for (&k, &rjk) in cols.iter().zip(vals.iter()) {
+            let gcol = g.col_mut(k);
+            for (gi, &li) in gcol.iter_mut().zip(lcol.iter()) {
+                *gi = li.mul_add(rjk, *gi);
+            }
+        }
+    }
+    g
+}
+
+/// `kji`: for each column of `R`, linear-combine columns of `L` — the
+/// structure of Algorithm 3.
+pub fn variant_kji<T: Scalar>(l: &Matrix<T>, r: &CscMatrix<T>) -> Matrix<T> {
+    let (d1, _m1, n1) = shape(l, r.nrows(), r.ncols());
+    let mut g = Matrix::zeros(d1, n1);
+    for k in 0..n1 {
+        let (rows, vals) = r.col(k);
+        let gcol = g.col_mut(k);
+        for (&j, &rjk) in rows.iter().zip(vals.iter()) {
+            let lcol = l.col(j);
+            for (gi, &li) in gcol.iter_mut().zip(lcol.iter()) {
+                *gi = li.mul_add(rjk, *gi);
+            }
+        }
+    }
+    g
+}
+
+fn shape<T: Scalar>(l: &Matrix<T>, r_rows: usize, r_cols: usize) -> (usize, usize, usize) {
+    assert_eq!(l.ncols(), r_rows, "inner dimension mismatch");
+    (l.nrows(), r_rows, r_cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsekit::CooMatrix;
+
+    fn setup(seed: u64) -> (Matrix<f64>, CscMatrix<f64>, CsrMatrix<f64>) {
+        let (d1, m1, n1) = (13, 17, 11);
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        let l = Matrix::from_fn(d1, m1, |_, _| next());
+        let mut coo = CooMatrix::new(m1, n1);
+        for j in 0..m1 {
+            for k in 0..n1 {
+                if next() > 0.2 {
+                    continue; // ~70% sparse
+                }
+                coo.push(j, k, next()).unwrap();
+            }
+        }
+        let csc = coo.to_csc().unwrap();
+        let csr = csc.to_csr();
+        (l, csc, csr)
+    }
+
+    #[test]
+    fn all_six_variants_agree() {
+        let (l, csc, csr) = setup(3);
+        let reference = variant_kji(&l, &csc);
+        let others = [
+            ("ikj", variant_ikj(&l, &csr)),
+            ("kij", variant_kij(&l, &csc)),
+            ("ijk", variant_ijk(&l, &csr)),
+            ("jik", variant_jik(&l, &csr)),
+            ("jki", variant_jki(&l, &csr)),
+        ];
+        for (name, g) in others {
+            assert!(
+                g.diff_norm(&reference) < 1e-12 * reference.fro_norm().max(1.0),
+                "variant {name} disagrees"
+            );
+        }
+    }
+
+    #[test]
+    fn agree_with_dense_gemm() {
+        let (l, csc, _) = setup(9);
+        let r_dense = Matrix::from_fn(csc.nrows(), csc.ncols(), |i, j| csc.get(i, j));
+        let expect = densekit::gemm::gemm_reference(&l, &r_dense);
+        let got = variant_kji(&l, &csc);
+        assert!(got.diff_norm(&expect) < 1e-12 * expect.fro_norm().max(1.0));
+    }
+
+    #[test]
+    fn empty_sparse_operand() {
+        let l = Matrix::<f64>::zeros(4, 6);
+        let csc = CscMatrix::<f64>::zeros(6, 5);
+        let csr = csc.to_csr();
+        for g in [
+            variant_ikj(&l, &csr),
+            variant_kij(&l, &csc),
+            variant_ijk(&l, &csr),
+            variant_jik(&l, &csr),
+            variant_jki(&l, &csr),
+            variant_kji(&l, &csc),
+        ] {
+            assert!(g.as_slice().iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn dimension_mismatch_panics() {
+        let l = Matrix::<f64>::zeros(2, 3);
+        let r = CscMatrix::<f64>::zeros(4, 2);
+        let _ = variant_kji(&l, &r);
+    }
+}

@@ -1,0 +1,276 @@
+//! Blocked CSR — the auxiliary structure required by Algorithm 4.
+//!
+//! Algorithm 4 (variant `jki` with RNG) processes one *row* of a vertical
+//! block of `A` per regenerated column of `S`, so the block must be stored
+//! row-major. The structure here partitions the columns of `A` into vertical
+//! blocks of width `b_n` and stores each block in CSR with block-local column
+//! indices (paper §II-B2).
+//!
+//! Construction from CSC costs `O(⌈n/b_n⌉·m + nnz(A))` sequentially — each
+//! block pays `O(m)` for its row-count array plus a scatter of its nonzeros —
+//! and `O(⌈n/(T·b_n)⌉·m + max_t nnz(A_t))` with `T` rayon workers, matching
+//! the paper's §III-B analysis. The Table IV/VI experiments time exactly this
+//! conversion.
+
+use crate::scalar::Scalar;
+use crate::{CscMatrix, CsrMatrix};
+use rayon::prelude::*;
+
+/// A vertical partition of a sparse matrix with row-major blocks.
+#[derive(Clone, Debug)]
+pub struct BlockedCsr<T> {
+    nrows: usize,
+    ncols: usize,
+    block_width: usize,
+    blocks: Vec<CsrMatrix<T>>,
+}
+
+impl<T: Scalar> BlockedCsr<T> {
+    /// Build sequentially from CSC with vertical blocks of width `b_n`.
+    pub fn from_csc(a: &CscMatrix<T>, b_n: usize) -> Self {
+        assert!(b_n > 0, "block width must be positive");
+        let nblocks = a.ncols().div_ceil(b_n).max(1);
+        let blocks = (0..nblocks)
+            .map(|b| Self::build_block(a, b * b_n, (b * b_n + b_n).min(a.ncols())))
+            .collect();
+        Self {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            block_width: b_n,
+            blocks,
+        }
+    }
+
+    /// Build in parallel: blocks are independent, one rayon task per block
+    /// (the paper's parallel construction, §III-B).
+    pub fn from_csc_parallel(a: &CscMatrix<T>, b_n: usize) -> Self {
+        assert!(b_n > 0, "block width must be positive");
+        let nblocks = a.ncols().div_ceil(b_n).max(1);
+        let blocks: Vec<CsrMatrix<T>> = (0..nblocks)
+            .into_par_iter()
+            .map(|b| Self::build_block(a, b * b_n, (b * b_n + b_n).min(a.ncols())))
+            .collect();
+        Self {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            block_width: b_n,
+            blocks,
+        }
+    }
+
+    /// Transpose-scatter one vertical block `A[:, j0..j1]` into CSR with
+    /// block-local column indices.
+    fn build_block(a: &CscMatrix<T>, j0: usize, j1: usize) -> CsrMatrix<T> {
+        let m = a.nrows();
+        // O(m) row-count array — the memory-intensive part the paper calls out.
+        let mut row_ptr = vec![0usize; m + 1];
+        for j in j0..j1 {
+            let (rows, _) = a.col(j);
+            for &r in rows {
+                row_ptr[r + 1] += 1;
+            }
+        }
+        for i in 0..m {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let nnz = row_ptr[m];
+        let mut cursor = row_ptr.clone();
+        let mut col_idx = vec![0usize; nnz];
+        let mut values = vec![T::ZERO; nnz];
+        // Scanning j in increasing order keeps each row's columns sorted.
+        for j in j0..j1 {
+            let (rows, vals) = a.col(j);
+            for (&r, &v) in rows.iter().zip(vals.iter()) {
+                let k = cursor[r];
+                col_idx[k] = j - j0;
+                values[k] = v;
+                cursor[r] += 1;
+            }
+        }
+        CsrMatrix::from_parts_unchecked(m, j1 - j0, row_ptr, col_idx, values)
+    }
+
+    /// Number of rows of the full matrix.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns of the full matrix.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// The block width `b_n` used for partitioning.
+    #[inline]
+    pub fn block_width(&self) -> usize {
+        self.block_width
+    }
+
+    /// Number of vertical blocks.
+    #[inline]
+    pub fn nblocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The CSR storage of block `b`.
+    #[inline]
+    pub fn block(&self, b: usize) -> &CsrMatrix<T> {
+        &self.blocks[b]
+    }
+
+    /// Global column offset of block `b`.
+    #[inline]
+    pub fn block_col_offset(&self, b: usize) -> usize {
+        b * self.block_width
+    }
+
+    /// Total stored nonzeros across blocks.
+    pub fn nnz(&self) -> usize {
+        self.blocks.iter().map(|b| b.nnz()).sum()
+    }
+
+    /// Memory footprint in bytes, including every block's `O(m)` row-pointer
+    /// array — the construction-memory cost the paper's §III-B highlights.
+    pub fn memory_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.memory_bytes()).sum()
+    }
+
+    /// Value at global `(i, j)` (test convenience).
+    pub fn get(&self, i: usize, j: usize) -> T {
+        let b = j / self.block_width;
+        self.blocks[b].get(i, j - self.block_col_offset(b))
+    }
+
+    /// Reassemble into CSC (for verification round trips).
+    pub fn to_csc(&self) -> CscMatrix<T> {
+        let mut col_ptr = vec![0usize; self.ncols + 1];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            let off = self.block_col_offset(b);
+            for &c in blk.col_idx() {
+                col_ptr[off + c + 1] += 1;
+            }
+        }
+        for j in 0..self.ncols {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+        let mut cursor = col_ptr.clone();
+        let mut row_idx = vec![0usize; self.nnz()];
+        let mut values = vec![T::ZERO; self.nnz()];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            let off = self.block_col_offset(b);
+            for i in 0..blk.nrows() {
+                let (cols, vals) = blk.row(i);
+                for (&c, &v) in cols.iter().zip(vals.iter()) {
+                    let k = cursor[off + c];
+                    row_idx[k] = i;
+                    values[k] = v;
+                    cursor[off + c] += 1;
+                }
+            }
+        }
+        CscMatrix::from_parts_unchecked(self.nrows, self.ncols, col_ptr, row_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn random_csc(m: usize, n: usize, nnz: usize, seed: u64) -> CscMatrix<f64> {
+        // Simple LCG-driven random matrix (tests only).
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state
+        };
+        let mut coo = CooMatrix::new(m, n);
+        for _ in 0..nnz {
+            let r = (next() % m as u64) as usize;
+            let c = (next() % n as u64) as usize;
+            let v = (next() % 1000) as f64 / 500.0 - 1.0;
+            coo.push(r, c, v + 1.5).unwrap(); // offset avoids cancellation to zero
+        }
+        coo.to_csc().unwrap()
+    }
+
+    #[test]
+    fn blocked_matches_source() {
+        let a = random_csc(50, 37, 200, 1);
+        let blk = BlockedCsr::from_csc(&a, 10);
+        assert_eq!(blk.nblocks(), 4);
+        assert_eq!(blk.nnz(), a.nnz());
+        for i in 0..50 {
+            for j in 0..37 {
+                assert_eq!(a.get(i, j), blk.get(i, j), "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = random_csc(80, 64, 500, 7);
+        let s = BlockedCsr::from_csc(&a, 9);
+        let p = BlockedCsr::from_csc_parallel(&a, 9);
+        assert_eq!(s.nblocks(), p.nblocks());
+        for b in 0..s.nblocks() {
+            assert_eq!(s.block(b), p.block(b), "block {b} differs");
+        }
+    }
+
+    #[test]
+    fn round_trip_to_csc() {
+        let a = random_csc(30, 25, 120, 3);
+        let blk = BlockedCsr::from_csc(&a, 7);
+        assert_eq!(blk.to_csc(), a);
+    }
+
+    #[test]
+    fn block_width_wider_than_matrix() {
+        let a = random_csc(20, 5, 30, 11);
+        let blk = BlockedCsr::from_csc(&a, 100);
+        assert_eq!(blk.nblocks(), 1);
+        assert_eq!(blk.to_csc(), a);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = CscMatrix::<f64>::zeros(10, 8);
+        let blk = BlockedCsr::from_csc(&a, 3);
+        assert_eq!(blk.nnz(), 0);
+        assert_eq!(blk.nblocks(), 3);
+        assert_eq!(blk.to_csc(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "block width")]
+    fn zero_block_width_panics() {
+        let a = CscMatrix::<f64>::zeros(2, 2);
+        let _ = BlockedCsr::from_csc(&a, 0);
+    }
+
+    #[test]
+    fn rows_sorted_within_blocks() {
+        let a = random_csc(40, 40, 300, 5);
+        let blk = BlockedCsr::from_csc(&a, 13);
+        for b in 0..blk.nblocks() {
+            let csr = blk.block(b);
+            for i in 0..csr.nrows() {
+                let (cols, _) = csr.row(i);
+                assert!(cols.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn memory_includes_row_pointers() {
+        // Each block's row_ptr is O(m): with many narrow blocks the memory
+        // must grow accordingly (the §III-B warning).
+        let a = random_csc(100, 60, 100, 9);
+        let wide = BlockedCsr::from_csc(&a, 60);
+        let narrow = BlockedCsr::from_csc(&a, 5);
+        assert!(narrow.memory_bytes() > 5 * wide.memory_bytes() / 2);
+    }
+}

@@ -1,0 +1,229 @@
+//! COO (coordinate / triplet) format — the builder format.
+//!
+//! Generators and the Matrix Market reader accumulate `(row, col, value)`
+//! triplets here, then convert to CSC/CSR once. Duplicate coordinates are
+//! summed during conversion, matching the Matrix Market convention.
+
+use crate::scalar::Scalar;
+use crate::{CscMatrix, Result, SparseError};
+
+/// A sparse matrix in coordinate (triplet) form.
+#[derive(Clone, Debug)]
+pub struct CooMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> CooMatrix<T> {
+    /// An empty matrix of the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Pre-allocate for `cap` triplets.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (before duplicate summation).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Append a triplet, validating bounds.
+    pub fn push(&mut self, row: usize, col: usize, val: T) -> Result<()> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                shape: (self.nrows, self.ncols),
+            });
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+        Ok(())
+    }
+
+    /// Append a triplet without bounds checking (generator hot path).
+    ///
+    /// # Panics
+    /// Debug builds assert bounds; release builds defer detection to
+    /// [`CooMatrix::to_csc`].
+    #[inline]
+    pub fn push_unchecked(&mut self, row: usize, col: usize, val: T) {
+        debug_assert!(row < self.nrows && col < self.ncols);
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+    }
+
+    /// Iterate stored triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        self.rows
+            .iter()
+            .zip(self.cols.iter())
+            .zip(self.vals.iter())
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Convert to CSC, summing duplicates and dropping explicit zeros that
+    /// result from cancellation. O(nnz + n) counting sort — no comparison
+    /// sort involved.
+    pub fn to_csc(&self) -> Result<CscMatrix<T>> {
+        for (&r, &c) in self.rows.iter().zip(self.cols.iter()) {
+            if r >= self.nrows || c >= self.ncols {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    shape: (self.nrows, self.ncols),
+                });
+            }
+        }
+        // Column counting pass.
+        let mut col_counts = vec![0usize; self.ncols + 1];
+        for &c in &self.cols {
+            col_counts[c + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            col_counts[j + 1] += col_counts[j];
+        }
+        // Scatter into column buckets.
+        let mut cursor = col_counts.clone();
+        let mut row_idx = vec![0usize; self.nnz()];
+        let mut values = vec![T::ZERO; self.nnz()];
+        for ((&r, &c), &v) in self.rows.iter().zip(self.cols.iter()).zip(self.vals.iter()) {
+            let k = cursor[c];
+            row_idx[k] = r;
+            values[k] = v;
+            cursor[c] += 1;
+        }
+        // Sort each column by row (counting-sorted via per-column sort; the
+        // columns are short on average, a comparison sort per column is
+        // cache-friendly) and merge duplicates.
+        let mut out_ptr = vec![0usize; self.ncols + 1];
+        let mut out_rows = Vec::with_capacity(self.nnz());
+        let mut out_vals = Vec::with_capacity(self.nnz());
+        let mut scratch: Vec<(usize, T)> = Vec::new();
+        for j in 0..self.ncols {
+            let (lo, hi) = (col_counts[j], col_counts[j + 1]);
+            scratch.clear();
+            scratch.extend(row_idx[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()));
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            let mut k = 0;
+            while k < scratch.len() {
+                let r = scratch[k].0;
+                let mut acc = T::ZERO;
+                while k < scratch.len() && scratch[k].0 == r {
+                    acc += scratch[k].1;
+                    k += 1;
+                }
+                if acc != T::ZERO {
+                    out_rows.push(r);
+                    out_vals.push(acc);
+                }
+            }
+            out_ptr[j + 1] = out_rows.len();
+        }
+        CscMatrix::try_new(self.nrows, self.ncols, out_ptr, out_rows, out_vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_convert() {
+        let mut coo = CooMatrix::<f64>::new(3, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(2, 1, 2.0).unwrap();
+        coo.push(1, 1, 3.0).unwrap();
+        let csc = coo.to_csc().unwrap();
+        assert_eq!(csc.nnz(), 3);
+        assert_eq!(csc.get(0, 0), 1.0);
+        assert_eq!(csc.get(1, 1), 3.0);
+        assert_eq!(csc.get(2, 1), 2.0);
+        assert_eq!(csc.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::<f64>::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 0, 2.5).unwrap();
+        let csc = coo.to_csc().unwrap();
+        assert_eq!(csc.nnz(), 1);
+        assert_eq!(csc.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn cancellation_drops_entry() {
+        let mut coo = CooMatrix::<f64>::new(2, 2);
+        coo.push(1, 1, 4.0).unwrap();
+        coo.push(1, 1, -4.0).unwrap();
+        let csc = coo.to_csc().unwrap();
+        assert_eq!(csc.nnz(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut coo = CooMatrix::<f64>::new(2, 2);
+        assert!(coo.push(2, 0, 1.0).is_err());
+        assert!(coo.push(0, 5, 1.0).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_converts() {
+        let coo = CooMatrix::<f64>::new(4, 5);
+        let csc = coo.to_csc().unwrap();
+        assert_eq!(csc.nrows(), 4);
+        assert_eq!(csc.ncols(), 5);
+        assert_eq!(csc.nnz(), 0);
+    }
+
+    #[test]
+    fn columns_sorted_after_conversion() {
+        let mut coo = CooMatrix::<f64>::new(5, 1);
+        for &r in &[4usize, 0, 3, 1] {
+            coo.push(r, 0, r as f64 + 1.0).unwrap();
+        }
+        let csc = coo.to_csc().unwrap();
+        let (rows, vals) = csc.col(0);
+        assert_eq!(rows, &[0, 1, 3, 4]);
+        assert_eq!(vals, &[1.0, 2.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn iter_round_trip() {
+        let mut coo = CooMatrix::<f32>::new(3, 3);
+        coo.push(1, 2, 7.0).unwrap();
+        let triplets: Vec<_> = coo.iter().collect();
+        assert_eq!(triplets, vec![(1, 2, 7.0f32)]);
+    }
+}

@@ -1,0 +1,263 @@
+//! CSB — Compressed Sparse Blocks (Buluç, Fineman, Frigo, Gilbert,
+//! Leiserson, SPAA 2009), the paper's reference [3].
+//!
+//! The matrix is tiled into a 2D grid of `β×β` blocks; each block stores its
+//! entries as triplets with 16-bit *local* coordinates. Unlike CSR/CSC, the
+//! layout is symmetric in rows and columns, so `A·x` and `Aᵀ·x` parallelize
+//! equally well — `A·x` over block-rows (each owns a disjoint slice of `y`),
+//! `Aᵀ·x` over block-columns. The iterative phase of the least-squares
+//! pipeline is exactly such an `A·x`/`Aᵀ·x` ping-pong, which is why blocked
+//! sparse structures appear in the paper's related work.
+
+use crate::scalar::Scalar;
+use crate::CscMatrix;
+use rayon::prelude::*;
+
+/// One tile: local coordinates (≤ 16 bits each) and values.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct Block<T> {
+    rows: Vec<u16>,
+    cols: Vec<u16>,
+    vals: Vec<T>,
+}
+
+/// A sparse matrix in Compressed Sparse Blocks layout.
+#[derive(Clone, Debug)]
+pub struct CsbMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    /// Block edge (power of two, ≤ 65536).
+    beta: usize,
+    /// Grid dimensions.
+    grid: (usize, usize),
+    /// Blocks in block-row-major order.
+    blocks: Vec<Block<T>>,
+}
+
+impl<T: Scalar> CsbMatrix<T> {
+    /// Build from CSC with block edge `beta` (clamped to [256, 65536] and
+    /// rounded up to a power of two).
+    pub fn from_csc(a: &CscMatrix<T>, beta: usize) -> Self {
+        let beta = beta.clamp(256, 65_536).next_power_of_two();
+        let (m, n) = (a.nrows(), a.ncols());
+        let grid = (m.div_ceil(beta).max(1), n.div_ceil(beta).max(1));
+        let mut blocks: Vec<Block<T>> = vec![Block::default(); grid.0 * grid.1];
+        for j in 0..n {
+            let bj = j / beta;
+            let lj = (j % beta) as u16;
+            let (rows, vals) = a.col(j);
+            for (&i, &v) in rows.iter().zip(vals.iter()) {
+                let bi = i / beta;
+                let blk = &mut blocks[bi * grid.1 + bj];
+                blk.rows.push((i % beta) as u16);
+                blk.cols.push(lj);
+                blk.vals.push(v);
+            }
+        }
+        Self {
+            nrows: m,
+            ncols: n,
+            beta,
+            grid,
+            blocks,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Block edge.
+    pub fn beta(&self) -> usize {
+        self.beta
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.blocks.iter().map(|b| b.vals.len()).sum()
+    }
+
+    /// Memory footprint: 2×u16 + value per entry plus the grid index.
+    pub fn memory_bytes(&self) -> usize {
+        self.nnz() * (4 + std::mem::size_of::<T>())
+            + self.blocks.len() * std::mem::size_of::<Block<T>>()
+    }
+
+    /// Sequential `y = A·x`.
+    pub fn spmv(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.ncols, "x length mismatch");
+        assert_eq!(y.len(), self.nrows, "y length mismatch");
+        y.fill(T::ZERO);
+        for bi in 0..self.grid.0 {
+            let y_off = bi * self.beta;
+            for bj in 0..self.grid.1 {
+                let x_off = bj * self.beta;
+                let blk = &self.blocks[bi * self.grid.1 + bj];
+                for ((&r, &c), &v) in blk.rows.iter().zip(blk.cols.iter()).zip(blk.vals.iter()) {
+                    y[y_off + r as usize] = v.mul_add(x[x_off + c as usize], y[y_off + r as usize]);
+                }
+            }
+        }
+    }
+
+    /// Parallel `y = A·x`: one rayon task per block-row (disjoint `y` slices).
+    pub fn spmv_par(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.ncols, "x length mismatch");
+        assert_eq!(y.len(), self.nrows, "y length mismatch");
+        let beta = self.beta;
+        let gcols = self.grid.1;
+        y.par_chunks_mut(beta).enumerate().for_each(|(bi, y_slice)| {
+            y_slice.fill(T::ZERO);
+            for bj in 0..gcols {
+                let x_off = bj * beta;
+                let blk = &self.blocks[bi * gcols + bj];
+                for ((&r, &c), &v) in blk.rows.iter().zip(blk.cols.iter()).zip(blk.vals.iter()) {
+                    y_slice[r as usize] = v.mul_add(x[x_off + c as usize], y_slice[r as usize]);
+                }
+            }
+        });
+    }
+
+    /// Sequential `y = Aᵀ·x`.
+    pub fn spmv_t(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.nrows, "x length mismatch");
+        assert_eq!(y.len(), self.ncols, "y length mismatch");
+        y.fill(T::ZERO);
+        for bj in 0..self.grid.1 {
+            let y_off = bj * self.beta;
+            for bi in 0..self.grid.0 {
+                let x_off = bi * self.beta;
+                let blk = &self.blocks[bi * self.grid.1 + bj];
+                for ((&r, &c), &v) in blk.rows.iter().zip(blk.cols.iter()).zip(blk.vals.iter()) {
+                    y[y_off + c as usize] = v.mul_add(x[x_off + r as usize], y[y_off + c as usize]);
+                }
+            }
+        }
+    }
+
+    /// Parallel `y = Aᵀ·x`: one rayon task per block-column — the symmetric
+    /// twin of [`CsbMatrix::spmv_par`], CSB's raison d'être (CSR cannot
+    /// parallelize the transposed product without a reduction).
+    pub fn spmv_t_par(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.nrows, "x length mismatch");
+        assert_eq!(y.len(), self.ncols, "y length mismatch");
+        let beta = self.beta;
+        let (grows, gcols) = self.grid;
+        y.par_chunks_mut(beta).enumerate().for_each(|(bj, y_slice)| {
+            y_slice.fill(T::ZERO);
+            for bi in 0..grows {
+                let x_off = bi * beta;
+                let blk = &self.blocks[bi * gcols + bj];
+                for ((&r, &c), &v) in blk.rows.iter().zip(blk.cols.iter()).zip(blk.vals.iter()) {
+                    y_slice[c as usize] = v.mul_add(x[x_off + r as usize], y_slice[c as usize]);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn random_csc(m: usize, n: usize, nnz: usize, seed: u64) -> CscMatrix<f64> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s >> 11
+        };
+        let mut coo = CooMatrix::new(m, n);
+        for _ in 0..nnz {
+            coo.push(
+                (next() % m as u64) as usize,
+                (next() % n as u64) as usize,
+                (next() % 1000) as f64 / 500.0 - 0.9995,
+            )
+            .unwrap();
+        }
+        coo.to_csc().unwrap()
+    }
+
+    #[test]
+    fn spmv_matches_csc() {
+        for (m, n, beta) in [(1000, 700, 256), (300, 900, 512), (256, 256, 256)] {
+            let a = random_csc(m, n, 3 * (m + n), 1);
+            let csb = CsbMatrix::from_csc(&a, beta);
+            assert_eq!(csb.nnz(), a.nnz());
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+            let mut y1 = vec![0.0; m];
+            let mut y2 = vec![0.0; m];
+            a.spmv(&x, &mut y1);
+            csb.spmv(&x, &mut y2);
+            for (p, q) in y1.iter().zip(y2.iter()) {
+                assert!((p - q).abs() < 1e-12 * p.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_t_matches_csc() {
+        let a = random_csc(800, 500, 4000, 2);
+        let csb = CsbMatrix::from_csc(&a, 256);
+        let x: Vec<f64> = (0..800).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut y1 = vec![0.0; 500];
+        let mut y2 = vec![0.0; 500];
+        a.spmv_t(&x, &mut y1);
+        csb.spmv_t(&x, &mut y2);
+        for (p, q) in y1.iter().zip(y2.iter()) {
+            assert!((p - q).abs() < 1e-12 * p.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = random_csc(1500, 1100, 9000, 3);
+        let csb = CsbMatrix::from_csc(&a, 256);
+        let x: Vec<f64> = (0..1100).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let xt: Vec<f64> = (0..1500).map(|i| ((i * 3) % 11) as f64 - 5.0).collect();
+        let mut seq = vec![0.0; 1500];
+        let mut par = vec![0.0; 1500];
+        csb.spmv(&x, &mut seq);
+        csb.spmv_par(&x, &mut par);
+        assert_eq!(seq, par);
+        let mut seq_t = vec![0.0; 1100];
+        let mut par_t = vec![0.0; 1100];
+        csb.spmv_t(&xt, &mut seq_t);
+        csb.spmv_t_par(&xt, &mut par_t);
+        assert_eq!(seq_t, par_t);
+    }
+
+    #[test]
+    fn beta_is_clamped_and_power_of_two() {
+        let a = random_csc(100, 100, 200, 5);
+        let csb = CsbMatrix::from_csc(&a, 300);
+        assert_eq!(csb.beta(), 512);
+        let tiny = CsbMatrix::from_csc(&a, 1);
+        assert_eq!(tiny.beta(), 256);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = CscMatrix::<f64>::zeros(10, 10);
+        let csb = CsbMatrix::from_csc(&a, 256);
+        assert_eq!(csb.nnz(), 0);
+        let mut y = vec![1.0; 10];
+        csb.spmv(&[0.0; 10], &mut y);
+        assert!(y.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let a = random_csc(400, 400, 2000, 7);
+        let csb = CsbMatrix::from_csc(&a, 256);
+        // 12 bytes/entry (2 u16 + f64) beats CSC's 16 (usize idx + f64).
+        assert!(csb.memory_bytes() < a.memory_bytes());
+    }
+}

@@ -1,0 +1,258 @@
+//! CSR (compressed sparse row) storage.
+//!
+//! Used by the MKL-style baseline (MKL times sparse-times-dense with `A` in
+//! CSR, paper Table II) and as the per-block storage inside [`crate::BlockedCsr`].
+
+use crate::scalar::Scalar;
+use crate::{CscMatrix, Result, SparseError};
+
+/// Compressed sparse row matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Construct with full structural validation (mirror of
+    /// [`CscMatrix::try_new`]).
+    pub fn try_new(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<T>,
+    ) -> Result<Self> {
+        if row_ptr.len() != nrows + 1 {
+            return Err(SparseError::Malformed(format!(
+                "row_ptr length {} != nrows+1 = {}",
+                row_ptr.len(),
+                nrows + 1
+            )));
+        }
+        if row_ptr[0] != 0 || *row_ptr.last().unwrap() != col_idx.len() {
+            return Err(SparseError::Malformed(
+                "row_ptr endpoints must be 0 and nnz".into(),
+            ));
+        }
+        if col_idx.len() != values.len() {
+            return Err(SparseError::Malformed(
+                "col_idx and values lengths differ".into(),
+            ));
+        }
+        for i in 0..nrows {
+            if row_ptr[i] > row_ptr[i + 1] {
+                return Err(SparseError::Malformed(format!(
+                    "row_ptr not monotone at row {i}"
+                )));
+            }
+            let cols = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            for (k, &c) in cols.iter().enumerate() {
+                if c >= ncols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: i,
+                        col: c,
+                        shape: (nrows, ncols),
+                    });
+                }
+                if k > 0 && cols[k - 1] >= c {
+                    return Err(SparseError::Malformed(format!(
+                        "cols not strictly increasing in row {i}"
+                    )));
+                }
+            }
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Construct without validation (hot conversion paths).
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<T>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), nrows + 1);
+        debug_assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len());
+        debug_assert_eq!(col_idx.len(), values.len());
+        Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Row pointer array (length `nrows + 1`).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index array.
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Values array.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Columns and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[T]) {
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of stored entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Value at `(i, j)` (binary search; zero if absent).
+    pub fn get(&self, i: usize, j: usize) -> T {
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(k) => vals[k],
+            Err(_) => T::ZERO,
+        }
+    }
+
+    /// Convert to CSC (transpose of the reinterpretation trick).
+    pub fn to_csc(&self) -> CscMatrix<T> {
+        let mut col_counts = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            col_counts[c + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            col_counts[j + 1] += col_counts[j];
+        }
+        let mut cursor = col_counts.clone();
+        let mut row_idx = vec![0usize; self.nnz()];
+        let mut values = vec![T::ZERO; self.nnz()];
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals.iter()) {
+                let k = cursor[j];
+                row_idx[k] = i;
+                values[k] = v;
+                cursor[j] += 1;
+            }
+        }
+        CscMatrix::from_parts_unchecked(self.nrows, self.ncols, col_counts, row_idx, values)
+    }
+
+    /// Memory footprint of the three arrays in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.col_idx.len() * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<T>()
+    }
+
+    /// Sparse matrix-vector product `y = A·x`.
+    pub fn spmv(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            let mut acc = T::ZERO;
+            for (&j, &v) in cols.iter().zip(vals.iter()) {
+                acc = v.mul_add(x[j], acc);
+            }
+            y[i] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix<f64> {
+        // [1 0 2]
+        // [0 3 0]
+        CsrMatrix::try_new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let a = small();
+        assert_eq!(a.nrows(), 2);
+        assert_eq!(a.ncols(), 3);
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 2), 2.0);
+        assert_eq!(a.get(1, 0), 0.0);
+        assert_eq!(a.row_nnz(0), 2);
+        let (cols, vals) = a.row(1);
+        assert_eq!(cols, &[1]);
+        assert_eq!(vals, &[3.0]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CsrMatrix::<f64>::try_new(1, 1, vec![0], vec![], vec![]).is_err());
+        assert!(CsrMatrix::<f64>::try_new(1, 1, vec![0, 2], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::<f64>::try_new(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
+        assert!(
+            CsrMatrix::<f64>::try_new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
+        );
+    }
+
+    #[test]
+    fn csc_round_trip() {
+        let a = small();
+        let csc = a.to_csc();
+        let back = csc.to_csr();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 2];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, [7.0, 6.0]);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let a = small();
+        assert_eq!(a.memory_bytes(), 3 * 8 + 3 * 8 + 3 * 8);
+    }
+}

@@ -1,0 +1,325 @@
+//! Matrix Market exchange format I/O.
+//!
+//! The paper's test matrices come from the SuiteSparse collection, which is
+//! distributed in this format. Supports `coordinate` matrices with `real`,
+//! `integer` and `pattern` fields and `general`, `symmetric` and
+//! `skew-symmetric` symmetry (symmetric entries are expanded on read).
+//! Pattern entries read as 1.0.
+
+use crate::scalar::Scalar;
+use crate::{CooMatrix, CscMatrix, Result, SparseError};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Read a Matrix Market `coordinate` file into CSC.
+pub fn read_matrix_market<T: Scalar, P: AsRef<Path>>(path: P) -> Result<CscMatrix<T>> {
+    let file = std::fs::File::open(path)?;
+    read_matrix_market_from(BufReader::new(file))
+}
+
+/// Read Matrix Market data from any reader.
+pub fn read_matrix_market_from<T: Scalar, R: Read>(reader: R) -> Result<CscMatrix<T>> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+
+    // Header line.
+    let (line_no, header) = match lines.next() {
+        Some((i, l)) => (i + 1, l?),
+        None => {
+            return Err(SparseError::Parse {
+                line: 1,
+                msg: "empty file".into(),
+            })
+        }
+    };
+    let toks: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
+        return Err(SparseError::Parse {
+            line: line_no,
+            msg: format!("bad header: {header:?}"),
+        });
+    }
+    if toks[2] != "coordinate" {
+        return Err(SparseError::Parse {
+            line: line_no,
+            msg: format!("only 'coordinate' format supported, got {:?}", toks[2]),
+        });
+    }
+    let field = match toks[3].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => {
+            return Err(SparseError::Parse {
+                line: line_no,
+                msg: format!("unsupported field {other:?}"),
+            })
+        }
+    };
+    let symmetry = match toks[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => {
+            return Err(SparseError::Parse {
+                line: line_no,
+                msg: format!("unsupported symmetry {other:?}"),
+            })
+        }
+    };
+
+    // Size line (after comments).
+    let mut size: Option<(usize, usize, usize)> = None;
+    let mut size_line = 0;
+    for (i, line) in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<&str> = t.split_whitespace().collect();
+        if parts.len() != 3 {
+            return Err(SparseError::Parse {
+                line: i + 1,
+                msg: format!("expected 'rows cols nnz', got {t:?}"),
+            });
+        }
+        let parse = |s: &str| -> Result<usize> {
+            s.parse().map_err(|_| SparseError::Parse {
+                line: i + 1,
+                msg: format!("bad integer {s:?}"),
+            })
+        };
+        size = Some((parse(parts[0])?, parse(parts[1])?, parse(parts[2])?));
+        size_line = i + 1;
+        break;
+    }
+    let (nrows, ncols, nnz) = size.ok_or(SparseError::Parse {
+        line: size_line.max(2),
+        msg: "missing size line".into(),
+    })?;
+
+    let cap = match symmetry {
+        Symmetry::General => nnz,
+        _ => 2 * nnz,
+    };
+    let mut coo = CooMatrix::<T>::with_capacity(nrows, ncols, cap);
+    let mut seen = 0usize;
+    for (i, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let (rs, cs) = match (parts.next(), parts.next()) {
+            (Some(r), Some(c)) => (r, c),
+            _ => {
+                return Err(SparseError::Parse {
+                    line: i + 1,
+                    msg: format!("short entry line {t:?}"),
+                })
+            }
+        };
+        let r: usize = rs.parse().map_err(|_| SparseError::Parse {
+            line: i + 1,
+            msg: format!("bad row index {rs:?}"),
+        })?;
+        let c: usize = cs.parse().map_err(|_| SparseError::Parse {
+            line: i + 1,
+            msg: format!("bad col index {cs:?}"),
+        })?;
+        if r == 0 || c == 0 {
+            return Err(SparseError::Parse {
+                line: i + 1,
+                msg: "matrix market indices are 1-based".into(),
+            });
+        }
+        let v = match field {
+            Field::Pattern => T::ONE,
+            _ => {
+                let vs = parts.next().ok_or(SparseError::Parse {
+                    line: i + 1,
+                    msg: "missing value".into(),
+                })?;
+                T::from_f64(vs.parse::<f64>().map_err(|_| SparseError::Parse {
+                    line: i + 1,
+                    msg: format!("bad value {vs:?}"),
+                })?)
+            }
+        };
+        coo.push(r - 1, c - 1, v)?;
+        match symmetry {
+            Symmetry::General => {}
+            Symmetry::Symmetric => {
+                if r != c {
+                    coo.push(c - 1, r - 1, v)?;
+                }
+            }
+            Symmetry::SkewSymmetric => {
+                if r != c {
+                    coo.push(c - 1, r - 1, -v)?;
+                }
+            }
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::Parse {
+            line: size_line,
+            msg: format!("declared {nnz} entries, found {seen}"),
+        });
+    }
+    coo.to_csc()
+}
+
+/// Write CSC to a Matrix Market `coordinate real general` file.
+pub fn write_matrix_market<T: Scalar, P: AsRef<Path>>(a: &CscMatrix<T>, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_matrix_market_to(a, BufWriter::new(file))
+}
+
+/// Write Matrix Market data to any writer.
+pub fn write_matrix_market_to<T: Scalar, W: Write>(a: &CscMatrix<T>, mut w: W) -> Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by sparsekit")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for j in 0..a.ncols() {
+        let (rows, vals) = a.col(j);
+        for (&i, &v) in rows.iter().zip(vals.iter()) {
+            writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v.to_f64())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn read_general_real() {
+        let data = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    3 3 3\n\
+                    1 1 1.5\n\
+                    3 2 -2.0\n\
+                    2 3 4.0\n";
+        let a: CscMatrix<f64> = read_matrix_market_from(Cursor::new(data)).unwrap();
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 0), 1.5);
+        assert_eq!(a.get(2, 1), -2.0);
+        assert_eq!(a.get(1, 2), 4.0);
+    }
+
+    #[test]
+    fn read_symmetric_expands() {
+        let data = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n\
+                    1 1 5.0\n\
+                    2 1 3.0\n";
+        let a: CscMatrix<f64> = read_matrix_market_from(Cursor::new(data)).unwrap();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 1), 3.0);
+        assert_eq!(a.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn read_skew_symmetric() {
+        let data = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 1\n\
+                    2 1 3.0\n";
+        let a: CscMatrix<f64> = read_matrix_market_from(Cursor::new(data)).unwrap();
+        assert_eq!(a.get(1, 0), 3.0);
+        assert_eq!(a.get(0, 1), -3.0);
+    }
+
+    #[test]
+    fn read_pattern_as_ones() {
+        let data = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 2\n\
+                    1 2\n\
+                    2 1\n";
+        let a: CscMatrix<f64> = read_matrix_market_from(Cursor::new(data)).unwrap();
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        for data in [
+            "",
+            "not a header\n1 1 0\n",
+            "%%MatrixMarket matrix array real general\n",
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+            "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+        ] {
+            assert!(
+                read_matrix_market_from::<f64, _>(Cursor::new(data)).is_err(),
+                "accepted {data:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_counts_and_indices() {
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market_from::<f64, _>(Cursor::new(short)).is_err());
+        let zero_based = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market_from::<f64, _>(Cursor::new(zero_based)).is_err());
+        let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market_from::<f64, _>(Cursor::new(oob)).is_err());
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut coo = CooMatrix::<f64>::new(4, 3);
+        coo.push(0, 0, 1.25).unwrap();
+        coo.push(3, 2, -7.5e-3).unwrap();
+        coo.push(1, 1, 1e100).unwrap();
+        let a = coo.to_csc().unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market_to(&a, &mut buf).unwrap();
+        let b: CscMatrix<f64> = read_matrix_market_from(Cursor::new(buf)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("sparsekit_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.mtx");
+        let a = CscMatrix::<f64>::identity(5);
+        write_matrix_market(&a, &path).unwrap();
+        let b: CscMatrix<f64> = read_matrix_market(&path).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn comments_between_entries_ok() {
+        let data = "%%MatrixMarket matrix coordinate real general\n\
+                    2 2 2\n\
+                    1 1 1.0\n\
+                    % interleaved comment\n\
+                    2 2 2.0\n";
+        let a: CscMatrix<f64> = read_matrix_market_from(Cursor::new(data)).unwrap();
+        assert_eq!(a.nnz(), 2);
+    }
+}

@@ -1,0 +1,249 @@
+//! Column orderings and permutations.
+//!
+//! Fill-in of a sparse QR factorization depends on the column order of `A`
+//! (equivalently the row/column order of `AᵀA`). Direct solvers such as
+//! SuiteSparseQR apply a fill-reducing ordering before factorizing; this
+//! module provides the classical **reverse Cuthill–McKee** (RCM) ordering on
+//! the column-intersection graph plus the permutation plumbing, so the
+//! George–Heath stand-in can be run ordered vs unordered (see the
+//! `ablate_ordering` bench) and the memory numbers of Table XI can be put in
+//! context.
+
+use crate::scalar::Scalar;
+use crate::CscMatrix;
+
+/// Apply a column permutation: returns `A·P` where column `j` of the result
+/// is column `perm[j]` of `a`.
+pub fn permute_cols<T: Scalar>(a: &CscMatrix<T>, perm: &[usize]) -> CscMatrix<T> {
+    assert_eq!(perm.len(), a.ncols(), "permutation length mismatch");
+    debug_assert!(is_permutation(perm));
+    let mut col_ptr = Vec::with_capacity(a.ncols() + 1);
+    col_ptr.push(0usize);
+    let mut row_idx = Vec::with_capacity(a.nnz());
+    let mut values = Vec::with_capacity(a.nnz());
+    for &src in perm {
+        let (rows, vals) = a.col(src);
+        row_idx.extend_from_slice(rows);
+        values.extend_from_slice(vals);
+        col_ptr.push(row_idx.len());
+    }
+    CscMatrix::from_parts_unchecked(a.nrows(), a.ncols(), col_ptr, row_idx, values)
+}
+
+/// Apply a row permutation: returns `P·A` where row `i` of the result is row
+/// `perm[i]` of `a`.
+pub fn permute_rows<T: Scalar>(a: &CscMatrix<T>, perm: &[usize]) -> CscMatrix<T> {
+    assert_eq!(perm.len(), a.nrows(), "permutation length mismatch");
+    debug_assert!(is_permutation(perm));
+    // inverse map: old row -> new row.
+    let mut inv = vec![0usize; perm.len()];
+    for (new, &old) in perm.iter().enumerate() {
+        inv[old] = new;
+    }
+    let mut coo = crate::CooMatrix::with_capacity(a.nrows(), a.ncols(), a.nnz());
+    for j in 0..a.ncols() {
+        let (rows, vals) = a.col(j);
+        for (&r, &v) in rows.iter().zip(vals.iter()) {
+            coo.push_unchecked(inv[r], j, v);
+        }
+    }
+    coo.to_csc().expect("permutation preserves bounds")
+}
+
+/// Invert a permutation.
+pub fn invert_permutation(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    inv
+}
+
+fn is_permutation(perm: &[usize]) -> bool {
+    let mut seen = vec![false; perm.len()];
+    perm.iter().all(|&p| {
+        if p >= perm.len() || seen[p] {
+            false
+        } else {
+            seen[p] = true;
+            true
+        }
+    })
+}
+
+/// Reverse Cuthill–McKee ordering of `A`'s columns on the column-intersection
+/// graph (columns adjacent iff they share a nonzero row — the graph of
+/// `AᵀA`). Returns a permutation suitable for [`permute_cols`].
+///
+/// Runs in `O(Σ_rows nnz_row²)` to build adjacency; rows denser than
+/// `dense_row_cutoff` are skipped in graph construction (a standard
+/// heuristic — a dense row makes a clique of all its columns and carries no
+/// ordering information).
+pub fn rcm_ordering<T: Scalar>(a: &CscMatrix<T>, dense_row_cutoff: usize) -> Vec<usize> {
+    let n = a.ncols();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Build the column graph from row cliques.
+    let csr = a.to_csr();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for i in 0..csr.nrows() {
+        let (cols, _) = csr.row(i);
+        if cols.len() < 2 || cols.len() > dense_row_cutoff {
+            continue;
+        }
+        for (k, &c1) in cols.iter().enumerate() {
+            for &c2 in &cols[k + 1..] {
+                adj[c1].push(c2 as u32);
+                adj[c2].push(c1 as u32);
+            }
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    let degree: Vec<usize> = adj.iter().map(|l| l.len()).collect();
+
+    // BFS from a minimum-degree vertex of each component, neighbours in
+    // increasing-degree order (Cuthill–McKee), then reverse.
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    let mut nodes: Vec<usize> = (0..n).collect();
+    nodes.sort_by_key(|&v| degree[v]);
+    let mut scratch: Vec<u32> = Vec::new();
+    for &start in &nodes {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            scratch.clear();
+            scratch.extend(adj[v].iter().copied().filter(|&u| !visited[u as usize]));
+            scratch.sort_unstable_by_key(|&u| degree[u as usize]);
+            for &u in &scratch {
+                visited[u as usize] = true;
+                queue.push_back(u as usize);
+            }
+        }
+    }
+    order.reverse();
+    order
+}
+
+/// Column-graph bandwidth proxy: the maximum index spread of any row's
+/// columns under the given ordering (smaller ⇒ less potential QR fill).
+pub fn column_spread<T: Scalar>(a: &CscMatrix<T>, perm: &[usize]) -> usize {
+    let inv = invert_permutation(perm);
+    let csr = a.to_csr();
+    let mut max_spread = 0usize;
+    for i in 0..csr.nrows() {
+        let (cols, _) = csr.row(i);
+        if cols.is_empty() {
+            continue;
+        }
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        for &c in cols {
+            let p = inv[c];
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        max_spread = max_spread.max(hi - lo);
+    }
+    max_spread
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn banded(m: usize, n: usize, band: usize) -> CscMatrix<f64> {
+        let mut coo = CooMatrix::new(m, n);
+        for i in 0..m {
+            let c0 = (i * n / m).min(n - 1);
+            for b in 0..band {
+                let c = (c0 + b).min(n - 1);
+                let _ = coo.push(i, c, 1.0 + (i + b) as f64);
+            }
+        }
+        coo.to_csc().unwrap()
+    }
+
+    #[test]
+    fn permutation_round_trip() {
+        let a = banded(20, 10, 3);
+        let perm: Vec<usize> = (0..10).rev().collect();
+        let b = permute_cols(&a, &perm);
+        let back = permute_cols(&b, &invert_permutation(&perm));
+        assert_eq!(a, back);
+        for j in 0..10 {
+            let (r1, v1) = a.col(perm[j]);
+            let (r2, v2) = b.col(j);
+            assert_eq!(r1, r2);
+            assert_eq!(v1, v2);
+        }
+    }
+
+    #[test]
+    fn row_permutation_moves_rows() {
+        let mut coo = CooMatrix::new(3, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(2, 1, 5.0).unwrap();
+        let a = coo.to_csc().unwrap();
+        let b = permute_rows(&a, &[2, 0, 1]); // new row 0 = old row 2
+        assert_eq!(b.get(0, 1), 5.0);
+        assert_eq!(b.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn rcm_is_a_permutation() {
+        let a = banded(50, 30, 4);
+        let p = rcm_ordering(&a, 100);
+        assert_eq!(p.len(), 30);
+        assert!(is_permutation(&p));
+    }
+
+    #[test]
+    fn rcm_recovers_band_structure_from_shuffle() {
+        // Take a banded matrix, scramble its columns, and check RCM shrinks
+        // the spread back toward the band.
+        let a = banded(400, 100, 3);
+        // Deterministic shuffle.
+        let mut perm: Vec<usize> = (0..100).collect();
+        let mut s = 12345u64;
+        for i in (1..100usize).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            perm.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let scrambled = permute_cols(&a, &perm);
+        let identity: Vec<usize> = (0..100).collect();
+        let spread_scrambled = column_spread(&scrambled, &identity);
+        let rcm = rcm_ordering(&scrambled, 100);
+        let spread_rcm = column_spread(&scrambled, &rcm);
+        assert!(
+            spread_rcm * 3 < spread_scrambled,
+            "RCM failed to reduce spread: {spread_rcm} vs {spread_scrambled}"
+        );
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let a = CscMatrix::<f64>::zeros(5, 0);
+        assert!(rcm_ordering(&a, 10).is_empty());
+        let b = CscMatrix::<f64>::zeros(5, 4);
+        let p = rcm_ordering(&b, 10);
+        assert!(is_permutation(&p));
+        assert_eq!(column_spread(&b, &p), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation length")]
+    fn wrong_perm_length_panics() {
+        let a = banded(4, 4, 2);
+        let _ = permute_cols(&a, &[0, 1]);
+    }
+}

@@ -1,0 +1,135 @@
+//! The scalar element trait shared by the sparse and dense substrates.
+//!
+//! Kernels in this workspace are generic over `f32`/`f64`; the trait exposes
+//! exactly the operations the kernels need (including `mul_add`, which maps
+//! to fused multiply-add and matters for the inner loops' throughput).
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point element type for matrices and kernels.
+pub trait Scalar:
+    Copy
+    + Default
+    + PartialOrd
+    + PartialEq
+    + Debug
+    + Display
+    + Send
+    + Sync
+    + Sum
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon.
+    const EPSILON: Self;
+
+    /// Lossy conversion from `f64`.
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Fused multiply-add: `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Binary maximum (NaN-propagating comparison not required).
+    fn max_s(self, other: Self) -> Self;
+    /// Binary minimum.
+    fn min_s(self, other: Self) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const EPSILON: Self = <$t>::EPSILON;
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn max_s(self, other: Self) -> Self {
+                if self > other {
+                    self
+                } else {
+                    other
+                }
+            }
+            #[inline(always)]
+            fn min_s(self, other: Self) -> Self {
+                if self < other {
+                    self
+                } else {
+                    other
+                }
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_sum<T: Scalar>(v: &[T]) -> T {
+        let mut acc = T::ZERO;
+        for &x in v {
+            acc += x;
+        }
+        acc
+    }
+
+    #[test]
+    fn basic_ops_f64() {
+        assert_eq!(generic_sum(&[1.0f64, 2.0, 3.0]), 6.0);
+        assert_eq!(f64::from_f64(2.5), 2.5);
+        assert_eq!((-3.0f64).abs(), 3.0);
+        assert_eq!(4.0f64.sqrt(), 2.0);
+        assert_eq!(2.0f64.mul_add(3.0, 1.0), 7.0);
+        assert_eq!(1.0f64.max_s(2.0), 2.0);
+        assert_eq!(1.0f64.min_s(2.0), 1.0);
+    }
+
+    #[test]
+    fn basic_ops_f32() {
+        assert_eq!(generic_sum(&[1.0f32, 2.0]), 3.0);
+        assert_eq!(f32::from_f64(0.5), 0.5f32);
+        assert!((f32::EPSILON as f64) > f64::EPSILON);
+    }
+}

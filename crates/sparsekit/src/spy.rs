@@ -1,0 +1,175 @@
+//! Sparsity-pattern rendering — reproduces Figure 5's spy plots.
+//!
+//! Downsamples an `m×n` pattern onto a character or pixel grid; each cell's
+//! darkness is the nonzero density of the sub-rectangle it covers. Output is
+//! ASCII (for terminals / EXPERIMENTS.md) or binary PGM (P5) images.
+
+use crate::scalar::Scalar;
+use crate::CscMatrix;
+use std::io::Write;
+use std::path::Path;
+
+/// A downsampled density grid of a sparsity pattern.
+#[derive(Clone, Debug)]
+pub struct SpyGrid {
+    /// Grid height (rows of cells).
+    pub height: usize,
+    /// Grid width (columns of cells).
+    pub width: usize,
+    /// Row-major cell densities in `[0, 1]`.
+    pub cells: Vec<f64>,
+}
+
+/// Compute the density grid for `a` at the given grid resolution.
+pub fn spy_grid<T: Scalar>(a: &CscMatrix<T>, height: usize, width: usize) -> SpyGrid {
+    assert!(height > 0 && width > 0, "grid must be non-degenerate");
+    let mut counts = vec![0usize; height * width];
+    let (m, n) = (a.nrows().max(1), a.ncols().max(1));
+    for j in 0..a.ncols() {
+        let gx = j * width / n;
+        let (rows, _) = a.col(j);
+        for &i in rows {
+            let gy = i * height / m;
+            counts[gy * width + gx] += 1;
+        }
+    }
+    // Cell capacity: entries of A covered by one grid cell.
+    let cell_rows = (m as f64 / height as f64).max(1.0);
+    let cell_cols = (n as f64 / width as f64).max(1.0);
+    let cap = cell_rows * cell_cols;
+    let cells = counts
+        .iter()
+        .map(|&c| (c as f64 / cap).min(1.0))
+        .collect();
+    SpyGrid {
+        height,
+        width,
+        cells,
+    }
+}
+
+/// Render the pattern as ASCII art. Darker characters = denser cells.
+pub fn spy_ascii<T: Scalar>(a: &CscMatrix<T>, height: usize, width: usize) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let grid = spy_grid(a, height, width);
+    let mut out = String::with_capacity((width + 3) * (height + 2));
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', width));
+    out.push_str("+\n");
+    for y in 0..height {
+        out.push('|');
+        for x in 0..width {
+            let d = grid.cells[y * width + x];
+            // Nonzero cells always render at least the faintest mark.
+            let idx = if d == 0.0 {
+                0
+            } else {
+                1 + ((d * (RAMP.len() - 2) as f64) as usize).min(RAMP.len() - 2)
+            };
+            out.push(RAMP[idx] as char);
+        }
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', width));
+    out.push_str("+\n");
+    out
+}
+
+/// Write the pattern as a binary PGM (P5) image, dark = dense.
+pub fn spy_pgm<T: Scalar, P: AsRef<Path>>(
+    a: &CscMatrix<T>,
+    height: usize,
+    width: usize,
+    path: P,
+) -> std::io::Result<()> {
+    let grid = spy_grid(a, height, width);
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(w, "P5\n{} {}\n255\n", width, height)?;
+    let bytes: Vec<u8> = grid
+        .cells
+        .iter()
+        .map(|&d| (255.0 * (1.0 - d.sqrt())) as u8) // sqrt for visual gamma
+        .collect();
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn diag(n: usize) -> CscMatrix<f64> {
+        CscMatrix::identity(n)
+    }
+
+    #[test]
+    fn diagonal_pattern_hits_diagonal_cells() {
+        let a = diag(100);
+        let g = spy_grid(&a, 10, 10);
+        for y in 0..10 {
+            for x in 0..10 {
+                let d = g.cells[y * 10 + x];
+                if x == y {
+                    assert!(d > 0.0, "diagonal cell ({y},{x}) empty");
+                } else {
+                    assert_eq!(d, 0.0, "off-diagonal cell ({y},{x}) nonzero");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_matrix_saturates() {
+        let mut coo = CooMatrix::<f64>::new(8, 8);
+        for i in 0..8 {
+            for j in 0..8 {
+                coo.push(i, j, 1.0).unwrap();
+            }
+        }
+        let a = coo.to_csc().unwrap();
+        let g = spy_grid(&a, 4, 4);
+        assert!(g.cells.iter().all(|&d| (d - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn ascii_has_expected_shape() {
+        let a = diag(50);
+        let art = spy_ascii(&a, 5, 12);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 7); // top border + 5 rows + bottom border
+        assert!(lines[0].starts_with('+'));
+        assert_eq!(lines[1].len(), 14); // | + 12 + |
+        assert!(art.contains(|c: char| "`.:-=+*#%@".contains(c)));
+    }
+
+    #[test]
+    fn pgm_file_valid_header() {
+        let a = diag(20);
+        let dir = std::env::temp_dir().join("sparsekit_spy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spy.pgm");
+        spy_pgm(&a, 16, 16, &path).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        assert!(data.starts_with(b"P5\n16 16\n255\n"));
+        assert_eq!(data.len(), 13 + 16 * 16);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn grid_smaller_matrix_than_grid() {
+        // 3x3 matrix onto 10x10 grid must not panic or index out of bounds.
+        let a = diag(3);
+        let g = spy_grid(&a, 10, 10);
+        assert_eq!(g.cells.len(), 100);
+        assert!(g.cells.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-degenerate")]
+    fn zero_grid_panics() {
+        let a = diag(3);
+        let _ = spy_grid(&a, 0, 5);
+    }
+}

@@ -1,0 +1,132 @@
+//! Structural statistics of sparse matrices.
+//!
+//! Used by the experiment harness to characterize test matrices (Table I /
+//! Table VIII properties), by `datagen`'s validation, and by the
+//! pattern-aware kernel model's reports.
+
+use crate::scalar::Scalar;
+use crate::CscMatrix;
+
+/// Summary statistics of a sparsity pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PatternStats {
+    /// Rows, columns, stored nonzeros.
+    pub shape: (usize, usize, usize),
+    /// Fraction of entries stored.
+    pub density: f64,
+    /// Min/mean/max nonzeros per row.
+    pub row_nnz: (usize, f64, usize),
+    /// Min/mean/max nonzeros per column.
+    pub col_nnz: (usize, f64, usize),
+    /// Number of completely empty rows.
+    pub empty_rows: usize,
+    /// Number of completely empty columns.
+    pub empty_cols: usize,
+    /// Matrix bandwidth: max |i − j| over stored entries.
+    pub bandwidth: usize,
+    /// Fraction of nonzeros in the densest decile of columns — a
+    /// concentration measure (≈0.1 for uniform patterns, →1 for
+    /// Abnormal_C-like layouts).
+    pub top_decile_col_mass: f64,
+}
+
+/// Compute [`PatternStats`] in one pass over the structure.
+pub fn pattern_stats<T: Scalar>(a: &CscMatrix<T>) -> PatternStats {
+    let (m, n, nnz) = (a.nrows(), a.ncols(), a.nnz());
+    let mut row_counts = vec![0usize; m];
+    let mut bandwidth = 0usize;
+    for j in 0..n {
+        let (rows, _) = a.col(j);
+        for &i in rows {
+            row_counts[i] += 1;
+            bandwidth = bandwidth.max(i.abs_diff(j));
+        }
+    }
+    let col_counts: Vec<usize> = (0..n).map(|j| a.col_nnz(j)).collect();
+
+    let agg = |counts: &[usize]| -> (usize, f64, usize) {
+        if counts.is_empty() {
+            return (0, 0.0, 0);
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        (min, mean, max)
+    };
+
+    let mut sorted_cols = col_counts.clone();
+    sorted_cols.sort_unstable_by(|a, b| b.cmp(a));
+    let decile = (n.div_ceil(10)).max(1).min(n.max(1));
+    let top_mass: usize = sorted_cols.iter().take(decile).sum();
+
+    PatternStats {
+        shape: (m, n, nnz),
+        density: a.density(),
+        row_nnz: agg(&row_counts),
+        col_nnz: agg(&col_counts),
+        empty_rows: row_counts.iter().filter(|&&c| c == 0).count(),
+        empty_cols: col_counts.iter().filter(|&&c| c == 0).count(),
+        bandwidth,
+        top_decile_col_mass: if nnz == 0 {
+            0.0
+        } else {
+            top_mass as f64 / nnz as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    #[test]
+    fn identity_stats() {
+        let a = CscMatrix::<f64>::identity(10);
+        let s = pattern_stats(&a);
+        assert_eq!(s.shape, (10, 10, 10));
+        assert_eq!(s.row_nnz, (1, 1.0, 1));
+        assert_eq!(s.col_nnz, (1, 1.0, 1));
+        assert_eq!(s.bandwidth, 0);
+        assert_eq!(s.empty_rows, 0);
+        assert!((s.top_decile_col_mass - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentration_detects_dense_columns() {
+        // One dense column among 20.
+        let mut coo = CooMatrix::<f64>::new(50, 20);
+        for i in 0..50 {
+            coo.push(i, 7, 1.0).unwrap();
+        }
+        coo.push(3, 0, 1.0).unwrap();
+        let a = coo.to_csc().unwrap();
+        let s = pattern_stats(&a);
+        assert!(s.top_decile_col_mass > 0.9);
+        assert_eq!(s.empty_cols, 18);
+        assert_eq!(s.col_nnz.2, 50);
+    }
+
+    #[test]
+    fn bandwidth_of_band_matrix() {
+        let mut coo = CooMatrix::<f64>::new(10, 10);
+        for i in 0..10 {
+            coo.push(i, i, 1.0).unwrap();
+            if i + 2 < 10 {
+                coo.push(i, i + 2, 1.0).unwrap();
+            }
+        }
+        let a = coo.to_csc().unwrap();
+        assert_eq!(pattern_stats(&a).bandwidth, 2);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = CscMatrix::<f64>::zeros(5, 4);
+        let s = pattern_stats(&a);
+        assert_eq!(s.shape, (5, 4, 0));
+        assert_eq!(s.empty_rows, 5);
+        assert_eq!(s.empty_cols, 4);
+        assert_eq!(s.top_decile_col_mass, 0.0);
+    }
+}

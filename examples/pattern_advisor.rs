@@ -1,0 +1,81 @@
+//! Pattern-aware kernel advisor — the paper's §VI future-work direction,
+//! implemented: profile a matrix's sparsity pattern in one pass and predict
+//! whether Algorithm 3 (kji, pattern-oblivious) or Algorithm 4 (jki,
+//! reuse-driven) will sketch it faster, then verify by running both.
+//!
+//! ```sh
+//! cargo run --release --example pattern_advisor [path/to/matrix.mtx]
+//! ```
+
+use rngkit::{FastRng, UnitUniform};
+use sketchcore::{predict_kernels, profile_pattern, sketch_alg3, sketch_alg4, tune_b_n,
+    KernelCosts, SketchConfig};
+use sparsekit::stats::pattern_stats;
+use sparsekit::BlockedCsr;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let a = match arg {
+        Some(path) => {
+            println!("reading {path} ...");
+            sparsekit::io::read_matrix_market::<f64, _>(&path).expect("readable Matrix Market file")
+        }
+        None => {
+            println!("no file given — using the Abnormal_A stand-in (dense rows)");
+            datagen::abnormal_a::<f64>(20_000, 2_000, 200, 7)
+        }
+    };
+
+    let stats = pattern_stats(&a);
+    println!(
+        "\npattern: {}x{} nnz {} density {:.2e}",
+        stats.shape.0, stats.shape.1, stats.shape.2, stats.density
+    );
+    println!(
+        "row nnz (min/mean/max): {}/{:.2}/{}   col nnz: {}/{:.2}/{}",
+        stats.row_nnz.0, stats.row_nnz.1, stats.row_nnz.2,
+        stats.col_nnz.0, stats.col_nnz.1, stats.col_nnz.2
+    );
+    println!(
+        "empty rows {} / cols {}; top-decile column mass {:.2}",
+        stats.empty_rows, stats.empty_cols, stats.top_decile_col_mass
+    );
+
+    let n = a.ncols();
+    let d = 3 * n;
+    let b_n = 500.min(n);
+    let prof = profile_pattern(&a, b_n);
+    println!(
+        "\nAlg 4 profile at b_n={b_n}: {} nonempty row-blocks, reuse factor {:.2}",
+        prof.nonempty_row_blocks, prof.reuse
+    );
+    let (best_bn, best_samples) = tune_b_n(&a, &[b_n / 4, b_n / 2, b_n, (2 * b_n).min(n)]);
+    println!("sample-minimizing b_n among candidates: {best_bn} ({best_samples} row-blocks)");
+
+    let pred = predict_kernels(&a, d, b_n, &KernelCosts::default());
+    println!(
+        "model: alg3 {:.0}M samples → {:.3}s;  alg4 {:.0}M samples → {:.3}s;  model picks {}",
+        pred.alg3_samples as f64 / 1e6,
+        pred.alg3_seconds,
+        pred.alg4_samples as f64 / 1e6,
+        pred.alg4_seconds,
+        if pred.prefer_alg4() { "Alg 4" } else { "Alg 3" },
+    );
+
+    // Verify.
+    let cfg = SketchConfig::new(d, 3000.min(d), b_n, 7);
+    let sampler = UnitUniform::<f64>::sampler(FastRng::new(7));
+    let t0 = std::time::Instant::now();
+    let x3 = sketch_alg3(&a, &cfg, &sampler);
+    let t3 = t0.elapsed().as_secs_f64();
+    let blocked = BlockedCsr::from_csc(&a, cfg.b_n);
+    let t0 = std::time::Instant::now();
+    let x4 = sketch_alg4(&blocked, &cfg, &sampler);
+    let t4 = t0.elapsed().as_secs_f64();
+    assert!(x3.diff_norm(&x4) < 1e-10 * x3.fro_norm().max(1.0));
+    println!(
+        "measured: alg3 {t3:.3}s, alg4 {t4:.3}s → {} wins (model {})",
+        if t4 < t3 { "Alg 4" } else { "Alg 3" },
+        if pred.prefer_alg4() == (t4 < t3) { "agreed ✓" } else { "disagreed ✗" },
+    );
+}

@@ -1,0 +1,56 @@
+//! Blocking tuning: compare the §III-A cost model's predicted block sizes
+//! against an empirical sweep on a real kernel run.
+//!
+//! ```sh
+//! cargo run --release --example tune_blocking
+//! ```
+
+use rngkit::{FastRng, UnitUniform};
+use sketchcore::{sketch_alg3, CostModel, SketchConfig};
+
+fn main() {
+    let (m, n, rho) = (40_000, 1_000, 3e-3);
+    let a = datagen::uniform_random::<f64>(m, n, rho, 5);
+    let d = 3 * n;
+    println!("A: {m}x{n} at density {rho:.0e}, d = {d}");
+
+    // Model: L2-sized cache in f64 words; h and B are illustrative — use
+    // `repro roofline` to measure them on this machine.
+    let model = CostModel::new(131_072.0, 0.05, 30.0);
+    let p = model.optimize(rho);
+    println!(
+        "model optimum: n₁ ≈ {:.0}, d₁ ≈ {:.0} (CI = {:.1}, predicted {:.1}% of peak)",
+        p.n1,
+        p.d1,
+        p.ci,
+        100.0 * p.frac_peak
+    );
+
+    // Empirical sweep over (b_d, b_n).
+    println!("\nempirical sweep (seconds, best marked):");
+    let sampler = UnitUniform::<f64>::sampler(FastRng::new(1));
+    let mut best = (f64::INFINITY, 0, 0);
+    let mut lines = Vec::new();
+    for &b_d in &[256usize, 1024, 3000] {
+        for &b_n in &[32usize, 128, 500, n] {
+            let cfg = SketchConfig::new(d, b_d, b_n, 1);
+            let t0 = std::time::Instant::now();
+            let out = sketch_alg3(&a, &cfg, &sampler);
+            let secs = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&out);
+            if secs < best.0 {
+                best = (secs, b_d, b_n);
+            }
+            lines.push((b_d, b_n, secs));
+        }
+    }
+    for (b_d, b_n, secs) in lines {
+        let mark = if (b_d, b_n) == (best.1, best.2) { "  <-- best" } else { "" };
+        println!("  b_d = {b_d:>5}, b_n = {b_n:>5}: {secs:.4}s{mark}");
+    }
+    println!(
+        "\nheuristic of §V-B: larger b_d + smaller b_n shifts cost from memory \
+         traffic to (cheap) regeneration — best here was b_d={}, b_n={}.",
+        best.1, best.2
+    );
+}

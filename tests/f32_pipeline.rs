@@ -1,0 +1,62 @@
+//! f32 end-to-end coverage: the paper's SpMM experiments run in 32-bit;
+//! every kernel and baseline must work (and agree) at `T = f32` too.
+
+use baselines::{csc_outer, materialize_s};
+use datagen::uniform_random;
+use rngkit::{FastRng, Rademacher, UnitUniform};
+use sketchcore::{sketch_alg3, sketch_alg4, SketchConfig};
+use sparsekit::BlockedCsr;
+
+#[test]
+fn f32_kernels_agree_with_each_other_and_baseline() {
+    let a = uniform_random::<f32>(2_000, 300, 5e-3, 1);
+    let cfg = SketchConfig::new(450, 128, 64, 9);
+    let sampler = UnitUniform::<f32>::sampler(FastRng::new(cfg.seed));
+
+    let x3 = sketch_alg3(&a, &cfg, &sampler);
+    let blocked = BlockedCsr::from_csc(&a, cfg.b_n);
+    let x4 = sketch_alg4(&blocked, &cfg, &sampler);
+    let s = materialize_s(&sampler, cfg.d, a.nrows(), cfg.b_d);
+    let xb = csc_outer(&a, &s);
+
+    let tol = 1e-3 * x3.fro_norm().max(1.0); // f32 accumulation tolerance
+    assert!(x3.diff_norm(&x4) < tol, "alg3/alg4 f32 disagree");
+    assert!(x3.diff_norm(&xb) < tol, "alg3/baseline f32 disagree");
+}
+
+#[test]
+fn f32_rademacher_preserves_energy() {
+    let a = uniform_random::<f32>(1_200, 100, 0.01, 3);
+    let cfg = SketchConfig::new(300, 150, 25, 5);
+    let sk = sketch_alg3(&a, &cfg, &Rademacher::<f32>::sampler(FastRng::new(cfg.seed)));
+    let ratio = (sk.fro_norm() as f64).powi(2) / (cfg.d as f64 * (a.fro_norm() as f64).powi(2));
+    assert!((0.85..1.15).contains(&ratio), "energy ratio {ratio}");
+}
+
+#[test]
+fn f32_sketch_is_deterministic() {
+    let a = uniform_random::<f32>(500, 80, 0.02, 7);
+    let cfg = SketchConfig::new(160, 64, 20, 11);
+    let sampler = UnitUniform::<f32>::sampler(FastRng::new(cfg.seed));
+    assert_eq!(sketch_alg3(&a, &cfg, &sampler), sketch_alg3(&a, &cfg, &sampler));
+}
+
+#[test]
+fn f32_fused_axpy_matches_staged() {
+    use rngkit::BlockSampler;
+    let mut s1 = UnitUniform::<f32>::sampler(FastRng::new(4));
+    let mut s2 = UnitUniform::<f32>::sampler(FastRng::new(4));
+    let mut fused = vec![0.5f32; 131];
+    let mut staged = vec![0.5f32; 131];
+    let mut v = vec![0.0f32; 131];
+    s1.set_state(2, 9);
+    s1.fill_axpy(1.75, &mut fused);
+    s2.set_state(2, 9);
+    s2.fill(&mut v);
+    for (o, &x) in staged.iter_mut().zip(v.iter()) {
+        *o += 1.75 * x;
+    }
+    for (a, b) in fused.iter().zip(staged.iter()) {
+        assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+    }
+}

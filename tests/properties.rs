@@ -1,0 +1,204 @@
+//! Property-based tests (proptest) on the core invariants: random matrices,
+//! random blockings, random seeds — the algebra must always hold.
+
+use datagen::uniform_random;
+use densekit::{HouseholderQr, Matrix, ThinSvd};
+use proptest::prelude::*;
+use rngkit::{FastRng, UnitUniform};
+use sketchcore::{sketch_alg3, sketch_alg4, SketchConfig};
+use sparsekit::{BlockedCsr, CooMatrix, CscMatrix};
+
+/// Strategy: a small random sparse matrix described by (m, n, entries).
+fn sparse_matrix() -> impl Strategy<Value = CscMatrix<f64>> {
+    (2usize..40, 2usize..30).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(
+            ((0..m), (0..n), -10.0f64..10.0),
+            0..(m * n).min(120),
+        )
+        .prop_map(move |entries| {
+            let mut coo = CooMatrix::new(m, n);
+            for (i, j, v) in entries {
+                coo.push(i, j, v).unwrap();
+            }
+            coo.to_csc().unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// COO→CSC→CSR→CSC round trip is the identity.
+    #[test]
+    fn format_round_trips(a in sparse_matrix()) {
+        let csr = a.to_csr();
+        prop_assert_eq!(csr.to_csc(), a.clone());
+        let t = a.transpose().transpose();
+        prop_assert_eq!(t, a);
+    }
+
+    /// Blocked CSR reassembles to the source for any block width, and the
+    /// parallel construction matches the sequential one.
+    #[test]
+    fn blocked_csr_any_width(a in sparse_matrix(), b_n in 1usize..40) {
+        let blk = BlockedCsr::from_csc(&a, b_n);
+        prop_assert_eq!(blk.to_csc(), a.clone());
+        let par = BlockedCsr::from_csc_parallel(&a, b_n);
+        prop_assert_eq!(par.nnz(), blk.nnz());
+        for b in 0..blk.nblocks() {
+            prop_assert_eq!(blk.block(b), par.block(b));
+        }
+    }
+
+    /// SpMV agrees with the dense expansion.
+    #[test]
+    fn spmv_matches_dense(a in sparse_matrix(), seed in 0u64..1000) {
+        let n = a.ncols();
+        let m = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 17) as f64 - 8.0).collect();
+        let mut y = vec![0.0; m];
+        a.spmv(&x, &mut y);
+        let dense = a.to_dense_row_major();
+        for i in 0..m {
+            let want: f64 = (0..n).map(|j| dense[i * n + j] * x[j]).sum();
+            prop_assert!((y[i] - want).abs() < 1e-9 * want.abs().max(1.0));
+        }
+    }
+
+    /// Algorithms 3 and 4 agree for every matrix, blocking, and seed.
+    #[test]
+    fn alg3_equals_alg4(
+        a in sparse_matrix(),
+        d in 1usize..50,
+        b_d in 1usize..60,
+        b_n in 1usize..40,
+        seed in 0u64..10_000,
+    ) {
+        let cfg = SketchConfig::new(d, b_d, b_n, seed);
+        let sampler = UnitUniform::<f64>::sampler(FastRng::new(seed));
+        let x3 = sketch_alg3(&a, &cfg, &sampler);
+        let blocked = BlockedCsr::from_csc(&a, cfg.b_n);
+        let x4 = sketch_alg4(&blocked, &cfg, &sampler);
+        let tol = 1e-11 * x3.fro_norm().max(1.0);
+        prop_assert!(x3.diff_norm(&x4) < tol, "diff {}", x3.diff_norm(&x4));
+    }
+
+    /// The sketch is linear in A: sketch(αA) = α·sketch(A).
+    #[test]
+    fn sketch_linearity(a in sparse_matrix(), alpha in -4.0f64..4.0, seed in 0u64..1000) {
+        let cfg = SketchConfig::new(16, 8, 8, seed);
+        let sampler = UnitUniform::<f64>::sampler(FastRng::new(seed));
+        let base = sketch_alg3(&a, &cfg, &sampler);
+        let mut scaled_a = a.clone();
+        scaled_a.scale_values(alpha);
+        let scaled = sketch_alg3(&scaled_a, &cfg, &sampler);
+        let mut expect = base.clone();
+        expect.scale(alpha);
+        prop_assert!(scaled.diff_norm(&expect) < 1e-10 * expect.fro_norm().max(1.0));
+    }
+
+    /// QR reconstructs: ‖QR − A‖ small, R upper triangular.
+    #[test]
+    fn qr_invariants(cols in 1usize..8, seed in 0u64..500) {
+        let rows = cols + (seed % 20) as usize;
+        let mut s = seed | 1;
+        let a = Matrix::from_fn(rows, cols, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as f64) / (1u64 << 31) as f64 - 0.5
+        });
+        let qr = HouseholderQr::factor(&a);
+        let r = qr.r();
+        for i in 0..cols {
+            for j in 0..i {
+                prop_assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+        // Column norms preserved: ‖A e_j‖ = ‖R e_j‖ (Q orthonormal).
+        for j in 0..cols {
+            let na: f64 = a.col(j).iter().map(|v| v * v).sum::<f64>().sqrt();
+            let nr: f64 = r.col(j).iter().map(|v| v * v).sum::<f64>().sqrt();
+            prop_assert!((na - nr).abs() < 1e-10 * na.max(1.0));
+        }
+    }
+
+    /// SVD invariants on random matrices: ‖A‖_F² = Σσ², σ sorted, V orthonormal.
+    #[test]
+    fn svd_invariants(cols in 1usize..7, extra in 0usize..12, seed in 0u64..500) {
+        let rows = cols + extra;
+        let mut s = seed | 1;
+        let a = Matrix::from_fn(rows, cols, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(99);
+            ((s >> 33) as f64) / (1u64 << 31) as f64 - 0.5
+        });
+        let svd = ThinSvd::factor(&a);
+        prop_assert!(svd.sigma.windows(2).all(|w| w[0] >= w[1]));
+        let fro2 = a.fro_norm().powi(2);
+        let sum2: f64 = svd.sigma.iter().map(|x| x * x).sum();
+        prop_assert!((fro2 - sum2).abs() < 1e-9 * fro2.max(1e-30));
+        for i in 0..cols {
+            for j in 0..cols {
+                let dot: f64 = svd.v.col(i).iter().zip(svd.v.col(j)).map(|(a, b)| a * b).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((dot - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The checkpointed generator is a pure function of (seed, r, c).
+    #[test]
+    fn checkpoint_purity(seed in 0u64..10_000, r in 0usize..1000, c in 0usize..1000) {
+        use rngkit::BlockSampler;
+        let mut s1 = UnitUniform::<f64>::sampler(FastRng::new(seed));
+        let mut s2 = UnitUniform::<f64>::sampler(FastRng::new(seed));
+        // s2 visits other checkpoints first; history must not matter.
+        s2.set_state(r / 2 + 1, c / 3 + 5);
+        let mut junk = [0.0; 7];
+        s2.fill(&mut junk);
+        let mut a = [0.0; 13];
+        let mut b = [0.0; 13];
+        s1.set_state(r, c);
+        s1.fill(&mut a);
+        s2.set_state(r, c);
+        s2.fill(&mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    /// fill_axpy is exactly fill-then-axpy.
+    #[test]
+    fn fused_axpy_consistent(seed in 0u64..10_000, coeff in -8.0f64..8.0, len in 1usize..200) {
+        use rngkit::BlockSampler;
+        let mut s1 = UnitUniform::<f64>::sampler(FastRng::new(seed));
+        let mut s2 = UnitUniform::<f64>::sampler(FastRng::new(seed));
+        let mut direct = vec![1.0; len];
+        let mut staged = vec![1.0; len];
+        let mut v = vec![0.0; len];
+        s1.set_state(3, 4);
+        s1.fill_axpy(coeff, &mut direct);
+        s2.set_state(3, 4);
+        s2.fill(&mut v);
+        for (o, &x) in staged.iter_mut().zip(v.iter()) {
+            *o += coeff * x;
+        }
+        for (x, y) in direct.iter().zip(staged.iter()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    /// Matrix Market writer/reader round trip for arbitrary matrices.
+    #[test]
+    fn matrix_market_round_trip(a in sparse_matrix()) {
+        let mut buf = Vec::new();
+        sparsekit::io::write_matrix_market_to(&a, &mut buf).unwrap();
+        let b: CscMatrix<f64> =
+            sparsekit::io::read_matrix_market_from(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// uniform_random honours its density argument on average.
+    #[test]
+    fn generator_density(seed in 0u64..100) {
+        let a = uniform_random::<f64>(400, 200, 0.05, seed);
+        let rho = a.density();
+        prop_assert!((rho - 0.05).abs() < 0.02, "density {rho}");
+    }
+}
