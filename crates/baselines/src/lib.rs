@@ -167,7 +167,9 @@ mod tests {
     fn random_csc(m: usize, n: usize, nnz: usize, seed: u64) -> CscMatrix<f64> {
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 11
         };
         let mut coo = sparsekit::CooMatrix::new(m, n);

@@ -6,9 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use datagen::lsq::{tall_conditioned, CondSpec};
 use datagen::make_rhs;
-use lstsq::{
-    lsmr, lsqr, CscOp, DiagPrecond, LsmrOptions, LsqrOptions, PrecondOp,
-};
+use lstsq::{lsmr, lsqr, CscOp, DiagPrecond, LsmrOptions, LsqrOptions, PrecondOp};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -25,7 +25,12 @@ fn bench(c: &mut Criterion) {
     let mut buf = vec![0u64; 3_000];
     g.throughput(Throughput::Elements(buf.len() as u64));
     g.bench_function("scalar_xoshiro256pp", |b| {
-        b.iter(|| raw_fill(CheckpointRng::<Xoshiro256PlusPlus>::new(1), black_box(&mut buf)))
+        b.iter(|| {
+            raw_fill(
+                CheckpointRng::<Xoshiro256PlusPlus>::new(1),
+                black_box(&mut buf),
+            )
+        })
     });
     g.bench_function("lanes4_aos", |b| {
         b.iter(|| raw_fill(Lanes::<Xoshiro256PlusPlus, 4>::new(1), black_box(&mut buf)))

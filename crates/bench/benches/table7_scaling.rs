@@ -21,7 +21,9 @@ fn bench(c: &mut Criterion) {
     let setup2 = SketchConfig::new(d, 470.min(d), 78.min(a.ncols()), 7);
     let sampler = UnitUniform::<f64>::sampler(FastRng::new(7));
 
-    let max_t = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let max_t = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut threads = vec![1usize];
     while *threads.last().unwrap() * 2 <= max_t {
         let next = threads.last().unwrap() * 2;
@@ -32,27 +34,17 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for &t in &threads {
         for (label, cfg) in [("setup1", &setup1), ("setup2", &setup2)] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("alg3_{label}"), t),
-                &t,
-                |b, &t| {
-                    b.iter(|| {
-                        with_threads(t, || black_box(sketch_alg3_par_rows(a, cfg, &sampler)))
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("alg3_{label}"), t), &t, |b, &t| {
+                b.iter(|| with_threads(t, || black_box(sketch_alg3_par_rows(a, cfg, &sampler))))
+            });
             let blocked = BlockedCsr::from_csc(a, cfg.b_n);
-            g.bench_with_input(
-                BenchmarkId::new(format!("alg4_{label}"), t),
-                &t,
-                |b, &t| {
-                    b.iter(|| {
-                        with_threads(t, || {
-                            black_box(sketch_alg4_par_rows(&blocked, cfg, &sampler))
-                        })
+            g.bench_with_input(BenchmarkId::new(format!("alg4_{label}"), t), &t, |b, &t| {
+                b.iter(|| {
+                    with_threads(t, || {
+                        black_box(sketch_alg4_par_rows(&blocked, cfg, &sampler))
                     })
-                },
-            );
+                })
+            });
         }
     }
     g.finish();

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <target> [--scale N] [--reps N] [--threads N]
+//! repro [target] [--scale N] [--reps N] [--threads N] [--obs-json PATH]
 //!
 //! targets:
 //!   table1   SpMM test-matrix properties
@@ -24,24 +24,32 @@
 //!   distortion    sketch quality: σ(S·Q) vs the 1±1/√γ theory
 //!   all      everything above
 //! ```
+//!
+//! With no target, `smoke` runs. `--obs-json PATH` (or `SKETCH_OBS_JSON`)
+//! writes the run's telemetry — span timings, sample/seek/byte counters,
+//! solver and traffic events — as JSONL when the run finishes; the human
+//! summary prints either way unless telemetry is off (`SKETCH_OBS=0`).
 
 use bench::{extensions, figures, solvers, tables, RunConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1..table9|fig4|fig5|fig6|roofline|junk|stream|smoke|kernelchoice|minnorm|distortion|all> [--scale N] [--reps N] [--threads N]"
+        "usage: repro [table1..table9|fig4|fig5|fig6|roofline|junk|stream|smoke|kernelchoice|minnorm|distortion|all] [--scale N] [--reps N] [--threads N] [--obs-json PATH]"
     );
     std::process::exit(2)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        usage();
-    }
-    let target = args[0].clone();
+    // A flags-only invocation runs the smoke target: the fastest run that
+    // still exercises both kernels, so `repro --obs-json out.jsonl` yields a
+    // complete telemetry file in seconds.
+    let (target, mut i) = match args.first() {
+        Some(a) if !a.starts_with("--") => (a.clone(), 1),
+        _ => ("smoke".to_string(), 0),
+    };
     let mut rc = RunConfig::default();
-    let mut i = 1;
+    let mut obs_json = obskit::json_path_from_env();
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
@@ -63,6 +71,10 @@ fn main() {
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--obs-json" => {
+                obs_json = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
                 i += 2;
             }
             _ => usage(),
@@ -116,5 +128,21 @@ fn main() {
             extensions::distortion(&rc);
         }
         _ => usage(),
+    }
+
+    if obskit::enabled() {
+        let snap = obskit::snapshot();
+        print!("\n{}", snap.summary());
+        if let Some(path) = &obs_json {
+            match snap.write_jsonl(path) {
+                Ok(()) => println!("telemetry JSONL written to {path}"),
+                Err(e) => {
+                    eprintln!("failed to write telemetry to {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    } else if obs_json.is_some() {
+        eprintln!("--obs-json given but telemetry is off (SKETCH_OBS=0 or the obs feature is disabled); nothing written");
     }
 }

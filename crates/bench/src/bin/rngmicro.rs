@@ -1,5 +1,7 @@
 //! Quick microbenchmark of raw generator fill rates (dev tool).
-use rngkit::{BlockRng, BlockSampler, CheckpointRng, Lanes, SimdXoshiro256PP, UnitUniform, Xoshiro256PlusPlus};
+use rngkit::{
+    BlockRng, BlockSampler, CheckpointRng, Lanes, SimdXoshiro256PP, UnitUniform, Xoshiro256PlusPlus,
+};
 use std::time::Instant;
 
 fn bench_fill<R: BlockRng>(name: &str, mut rng: R) {
@@ -16,7 +18,10 @@ fn bench_fill<R: BlockRng>(name: &str, mut rng: R) {
 }
 
 fn main() {
-    bench_fill("scalar xoshiro256++", CheckpointRng::<Xoshiro256PlusPlus>::new(1));
+    bench_fill(
+        "scalar xoshiro256++",
+        CheckpointRng::<Xoshiro256PlusPlus>::new(1),
+    );
     bench_fill("Lanes<4> AoS", Lanes::<Xoshiro256PlusPlus, 4>::new(1));
     bench_fill("Lanes<8> AoS", Lanes::<Xoshiro256PlusPlus, 8>::new(1));
     bench_fill("SimdXoshiro SoA<4>", SimdXoshiro256PP::<4>::new(1));
@@ -35,7 +40,11 @@ fn main() {
     }
     let dt = t0.elapsed().as_secs_f64();
     std::hint::black_box(&v);
-    println!("{:32} {:.3} ns/sample", "UnitUniform<f64> over SoA<8>", dt / (reps as f64 * 3000.0) * 1e9);
+    println!(
+        "{:32} {:.3} ns/sample",
+        "UnitUniform<f64> over SoA<8>",
+        dt / (reps as f64 * 3000.0) * 1e9
+    );
 
     // Emulate Algorithm 3's inner loop: per "nonzero", seek + fill + axpy.
     let mut s = UnitUniform::<f64>::sampler(SimdXoshiro256PP::<8>::new(1));
@@ -54,7 +63,11 @@ fn main() {
     }
     let dt = t0.elapsed().as_secs_f64();
     std::hint::black_box(&out);
-    println!("{:32} {:.3} ns/sample", "fill+axpy emulation", dt / (reps as f64 * d1 as f64) * 1e9);
+    println!(
+        "{:32} {:.3} ns/sample",
+        "fill+axpy emulation",
+        dt / (reps as f64 * d1 as f64) * 1e9
+    );
 
     // axpy alone
     let t0 = Instant::now();
@@ -66,7 +79,11 @@ fn main() {
     }
     let dt = t0.elapsed().as_secs_f64();
     std::hint::black_box(&out);
-    println!("{:32} {:.3} ns/elt", "axpy alone", dt / (reps as f64 * d1 as f64) * 1e9);
+    println!(
+        "{:32} {:.3} ns/elt",
+        "axpy alone",
+        dt / (reps as f64 * d1 as f64) * 1e9
+    );
 }
 
 #[allow(dead_code)]

@@ -21,9 +21,11 @@ fn main() {
         let dt = t.elapsed().as_secs_f64();
         std::hint::black_box(&x);
         let samples = d as f64 * mat.nnz() as f64;
-        println!("{label:20}: {dt:.3}s ({:.2} ns/sample)", dt/samples*1e9);
+        println!("{label:20}: {dt:.3}s ({:.2} ns/sample)", dt / samples * 1e9);
     }
-    for (b_d, b_n) in [(3000usize, 500usize)] {
+    // The paper's Frontera blocking; add pairs here to sweep alternatives.
+    let blockings = [(3000usize, 500usize)];
+    for (b_d, b_n) in blockings {
         let cfg = SketchConfig::new(d, b_d, b_n, 7);
         let s = UnitUniform::<f64>::sampler(FastRng::new(7));
         let t = std::time::Instant::now();
@@ -35,6 +37,19 @@ fn main() {
         let dt2 = t2.elapsed().as_secs_f64();
         std::hint::black_box(&y);
         let samples = d as f64 * a.nnz() as f64;
-        println!("b_d={b_d:5} b_n={b_n:4}: seq {dt:.3}s ({:.2} ns/sample)  par_cols {dt2:.3}s", dt/samples*1e9);
+        println!(
+            "b_d={b_d:5} b_n={b_n:4}: seq {dt:.3}s ({:.2} ns/sample)  par_cols {dt2:.3}s",
+            dt / samples * 1e9
+        );
+    }
+    if obskit::enabled() {
+        let snap = obskit::snapshot();
+        print!("\n{}", snap.summary());
+        if let Some(path) = obskit::json_path_from_env() {
+            match snap.write_jsonl(&path) {
+                Ok(()) => println!("telemetry JSONL written to {path}"),
+                Err(e) => eprintln!("failed to write telemetry to {path}: {e}"),
+            }
+        }
     }
 }

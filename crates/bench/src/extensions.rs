@@ -28,7 +28,11 @@ pub fn kernel_choice(rc: &RunConfig) {
     let c_pat = abnormal_c::<f64>(m, n, stride, 1);
 
     let mut rows = Vec::new();
-    for (name, a) in [("Abnormal_A", &a_pat), ("Abnormal_B", &b_pat), ("Abnormal_C", &c_pat)] {
+    for (name, a) in [
+        ("Abnormal_A", &a_pat),
+        ("Abnormal_B", &b_pat),
+        ("Abnormal_C", &c_pat),
+    ] {
         let pred = predict_kernels(a, d, b_n, &costs);
         let t3 = time_median(rc.reps, || sketch_alg3(a, &cfg, &sampler));
         let blocked = BlockedCsr::from_csc(a, b_n);
@@ -72,7 +76,9 @@ pub fn minnorm(rc: &RunConfig) {
         7,
     );
     let a = tall.transpose(); // wide m×n, m < n
-    let x_any: Vec<f64> = (0..a.ncols()).map(|i| ((i % 13) as f64) / 6.0 - 1.0).collect();
+    let x_any: Vec<f64> = (0..a.ncols())
+        .map(|i| ((i % 13) as f64) / 6.0 - 1.0)
+        .collect();
     let mut b = vec![0.0; a.nrows()];
     a.spmv(&x_any, &mut b);
 
@@ -120,7 +126,13 @@ pub fn distortion(rc: &RunConfig) {
     }
     print_table(
         "Extension — effective distortion of the sketch: σ(S·Q) vs theory 1±1/√γ",
-        &["γ", "σmin", "σmax", "theory range", "implied LSQR rate bound"],
+        &[
+            "γ",
+            "σmin",
+            "σmax",
+            "theory range",
+            "implied LSQR rate bound",
+        ],
         &rows,
     );
 }

@@ -1,8 +1,10 @@
 //! Figure runners — Figure 4 (distribution study), Figure 5 (spy plots),
 //! the §III-A roofline report, and the §V-B machine probes.
 
-use crate::{fmt_g, gflops, measure_copy_bandwidth_gbs, measure_peak_gflops,
-    measure_short_vector_rng_rate, print_table, time_median, RunConfig};
+use crate::{
+    fmt_g, gflops, measure_copy_bandwidth_gbs, measure_peak_gflops, measure_short_vector_rng_rate,
+    print_table, time_median, RunConfig,
+};
 use baselines::{materialize_s, pregen_blocked};
 use datagen::uniform_random;
 use rngkit::{FastRng, Gaussian, Rademacher, ScaledInt, UnitUniform};
@@ -45,7 +47,11 @@ pub fn fig4(rc: &RunConfig) {
             sketch_alg4(&blocked, &cfg, &UnitUniform::<f64>::sampler(Rng::new(4)))
         });
         let t_scaled = time_median(rc.reps, || {
-            let mut out = sketch_alg4(&blocked, &cfg, &rngkit::DistSampler::new(ScaledInt::new(), Rng::new(4)));
+            let mut out = sketch_alg4(
+                &blocked,
+                &cfg,
+                &rngkit::DistSampler::new(ScaledInt::new(), Rng::new(4)),
+            );
             out.scale(ScaledInt::SCALE);
             out
         });
@@ -83,7 +89,12 @@ pub fn fig5(rc: &RunConfig) {
     std::fs::create_dir_all("target/spy").ok();
     for name in ["shar_te2-b2", "mesh_deform", "cis-n4c6-b4"] {
         let nm = suite.iter().find(|p| p.name == name).expect("suite member");
-        println!("{name} ({}x{}, nnz {}):", nm.matrix.nrows(), nm.matrix.ncols(), nm.matrix.nnz());
+        println!(
+            "{name} ({}x{}, nnz {}):",
+            nm.matrix.nrows(),
+            nm.matrix.ncols(),
+            nm.matrix.nnz()
+        );
         println!("{}", spy_ascii(&nm.matrix, 20, 40));
         let path = format!("target/spy/{name}.pgm");
         if sparsekit::spy::spy_pgm(&nm.matrix, 256, 256, &path).is_ok() {
@@ -98,12 +109,16 @@ pub fn roofline() {
     let peak = measure_peak_gflops();
     let bw = measure_copy_bandwidth_gbs();
     let balance = peak / (bw / 8.0); // flops per f64 word
-    // Model cache: 1 MiB of f64 words (L2-ish), h from the measured RNG rate.
+                                     // Model cache: 1 MiB of f64 words (L2-ish), h from the measured RNG rate.
     let rng_rate = measure_short_vector_rng_rate() * 1e9; // samples/s
     let mem_rate = bw * 1e9 / 8.0; // words/s
     let h = mem_rate / rng_rate;
     println!("\nmeasured: peak {peak:.1} GFLOP/s, bandwidth {bw:.1} GB/s, machine balance {balance:.1} flops/word");
-    println!("RNG rate {:.2} Gsamples/s → h = (cost of RNG / cost of load) = {:.3}", rng_rate / 1e9, 1.0 / h);
+    println!(
+        "RNG rate {:.2} Gsamples/s → h = (cost of RNG / cost of load) = {:.3}",
+        rng_rate / 1e9,
+        1.0 / h
+    );
 
     let model = CostModel::new(131_072.0, (1.0 / h).min(0.999), balance);
     let mut rows = Vec::new();
@@ -121,7 +136,15 @@ pub fn roofline() {
     }
     print_table(
         "§III-A model — optimal blocking and fraction of peak (M = 128Ki words)",
-        &["ρ", "n₁*", "d₁*", "m₁*", "CI", "frac peak", "GEMM frac peak"],
+        &[
+            "ρ",
+            "n₁*",
+            "d₁*",
+            "m₁*",
+            "CI",
+            "frac peak",
+            "GEMM frac peak",
+        ],
         &rows,
     );
     println!(

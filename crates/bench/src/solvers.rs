@@ -114,7 +114,11 @@ pub fn table8(rc: &RunConfig) {
             let dscale: Vec<f64> = (0..nn)
                 .map(|j| {
                     let d = g[(j, j)];
-                    if d > 0.0 { 1.0 / d.sqrt() } else { 1.0 }
+                    if d > 0.0 {
+                        1.0 / d.sqrt()
+                    } else {
+                        1.0
+                    }
                 })
                 .collect();
             let ge = Matrix::from_fn(nn, nn, |i, j| g[(i, j)] * dscale[i] * dscale[j]);
@@ -175,7 +179,10 @@ pub fn tables9_to_11(rc: &RunConfig) {
         })
         .collect();
     print_table(
-        &format!("Table IX — solver runtime and iterations (scale 1/{})", rc.scale),
+        &format!(
+            "Table IX — solver runtime and iterations (scale 1/{})",
+            rc.scale
+        ),
         &[
             "A",
             "LSQR-D (s)",

@@ -4,10 +4,10 @@ use crate::{fmt_g, fmt_s, gflops, print_table, time_median, RunConfig};
 use baselines::{csc_outer, eigen_style, materialize_s, mkl_style};
 use datagen::{abnormal_a, abnormal_b, abnormal_c, spmm_suite};
 use rngkit::{FastRng, Rademacher, UnitUniform};
+use sketchcore::parallel::{sketch_alg3_par_rows, sketch_alg4_par_rows, with_threads};
 use sketchcore::{
     sketch_alg3, sketch_alg3_instrumented, sketch_alg4, sketch_alg4_instrumented, SketchConfig,
 };
-use sketchcore::parallel::{sketch_alg3_par_rows, sketch_alg4_par_rows, with_threads};
 use sparsekit::{BlockedCsr, CscMatrix};
 use std::time::Instant;
 
@@ -53,16 +53,21 @@ pub fn table1(rc: &RunConfig) {
                 nm.matrix.ncols().to_string(),
                 nm.matrix.nnz().to_string(),
                 format!("{:.2e}", nm.matrix.density()),
-                format!(
-                    "{}x{} nnz {}",
-                    nm.paper.m, nm.paper.n, nm.paper.nnz
-                ),
+                format!("{}x{} nnz {}", nm.paper.m, nm.paper.n, nm.paper.nnz),
             ]
         })
         .collect();
     print_table(
         &format!("Table I — SpMM test data (scale 1/{})", rc.scale),
-        &["matrix", "d", "m", "n", "nnz", "density", "paper (unscaled)"],
+        &[
+            "matrix",
+            "d",
+            "m",
+            "n",
+            "nnz",
+            "density",
+            "paper (unscaled)",
+        ],
         &rows,
     );
 }
@@ -97,7 +102,14 @@ pub fn table2(rc: &RunConfig) {
             "Table II — Algorithm 3 vs library baselines, sequential (scale 1/{}, seconds)",
             rc.scale
         ),
-        &["matrix", "MKL-style", "Eigen-style", "Julia-style", "Alg3 (-1,1)", "Alg3 (±1)"],
+        &[
+            "matrix",
+            "MKL-style",
+            "Eigen-style",
+            "Julia-style",
+            "Alg3 (-1,1)",
+            "Alg3 (±1)",
+        ],
         &rows,
     );
 }
@@ -137,7 +149,10 @@ pub fn table_sample_split(rc: &RunConfig, perlmutter: bool) {
         "Table III — Frontera blocking (b_n=500 scaled)"
     };
     print_table(
-        &format!("{which}: sample vs total time (scale 1/{}, seconds)", rc.scale),
+        &format!(
+            "{which}: sample vs total time (scale 1/{}, seconds)",
+            rc.scale
+        ),
         &["matrix", "algorithm", "total", "sample", "samples drawn"],
         &rows,
     );
@@ -156,9 +171,12 @@ pub fn table4(rc: &RunConfig) {
         drop(s);
         let t_conv = time_median(rc.reps, || BlockedCsr::from_csc(a, cfg.b_n));
         let blocked = BlockedCsr::from_csc(a, cfg.b_n);
-        let t_a4u = time_median(rc.reps, || sketch_alg4(&blocked, &cfg, &uni_sampler(cfg.seed)));
-        let t_a4s =
-            time_median(rc.reps, || sketch_alg4(&blocked, &cfg, &sign_sampler(cfg.seed)));
+        let t_a4u = time_median(rc.reps, || {
+            sketch_alg4(&blocked, &cfg, &uni_sampler(cfg.seed))
+        });
+        let t_a4s = time_median(rc.reps, || {
+            sketch_alg4(&blocked, &cfg, &sign_sampler(cfg.seed))
+        });
         rows.push(vec![
             nm.name.into(),
             fmt_s(t_julia),
@@ -173,7 +191,14 @@ pub fn table4(rc: &RunConfig) {
             "Table IV — Algorithm 4 vs library baselines (scale 1/{}, seconds)",
             rc.scale
         ),
-        &["matrix", "Julia-style", "Eigen-style", "Alg4 (-1,1)", "Alg4 (±1)", "conversion"],
+        &[
+            "matrix",
+            "Julia-style",
+            "Eigen-style",
+            "Alg4 (-1,1)",
+            "Alg4 (±1)",
+            "conversion",
+        ],
         &rows,
     );
 }
@@ -201,18 +226,22 @@ pub fn table6(rc: &RunConfig) {
     );
 
     let mut rows = Vec::new();
-    for (name, a) in [("Abnormal_A", &a_pat), ("Abnormal_B", &b_pat), ("Abnormal_C", &c_pat)] {
+    for (name, a) in [
+        ("Abnormal_A", &a_pat),
+        ("Abnormal_B", &b_pat),
+        ("Abnormal_C", &c_pat),
+    ] {
         let t3 = time_median(rc.reps, || sketch_alg3(a, &cfg, &uni_sampler(cfg.seed)));
         let t_conv = time_median(rc.reps, || BlockedCsr::from_csc(a, cfg.b_n));
         let blocked = BlockedCsr::from_csc(a, cfg.b_n);
-        let t4 = time_median(rc.reps, || sketch_alg4(&blocked, &cfg, &uni_sampler(cfg.seed)));
+        let t4 = time_median(rc.reps, || {
+            sketch_alg4(&blocked, &cfg, &uni_sampler(cfg.seed))
+        });
         rows.push(vec![name.into(), "Alg3".into(), "N/A".into(), fmt_s(t3)]);
         rows.push(vec![name.into(), "Alg4".into(), fmt_s(t_conv), fmt_s(t4)]);
     }
     print_table(
-        &format!(
-            "Table VI — exotic sparsity patterns, m={m} n={n} stride={stride} (seconds)"
-        ),
+        &format!("Table VI — exotic sparsity patterns, m={m} n={n} stride={stride} (seconds)"),
         &["problem", "algorithm", "conversion", "compute"],
         &rows,
     );
@@ -230,8 +259,20 @@ pub fn table7(rc: &RunConfig) {
         .expect("suite contains shar_te2-b2");
     let a = &nm.matrix;
     let d = nm.d;
-    let setup1 = clamp_cfg(d, (1000 / rc.scale).max(16), (2000 / rc.scale).max(64), a.ncols(), 7);
-    let setup2 = clamp_cfg(d, (3000 / rc.scale).max(64), (500 / rc.scale).max(16), a.ncols(), 7);
+    let setup1 = clamp_cfg(
+        d,
+        (1000 / rc.scale).max(16),
+        (2000 / rc.scale).max(64),
+        a.ncols(),
+        7,
+    );
+    let setup2 = clamp_cfg(
+        d,
+        (3000 / rc.scale).max(64),
+        (500 / rc.scale).max(16),
+        a.ncols(),
+        7,
+    );
     let nnz = a.nnz();
 
     let mut threads = Vec::new();
@@ -247,7 +288,9 @@ pub fn table7(rc: &RunConfig) {
         for cfg in [&setup1, &setup2] {
             let blocked = BlockedCsr::from_csc(a, cfg.b_n);
             let t4 = time_median(rc.reps, || {
-                with_threads(t, || sketch_alg4_par_rows(&blocked, cfg, &uni_sampler(cfg.seed)))
+                with_threads(t, || {
+                    sketch_alg4_par_rows(&blocked, cfg, &uni_sampler(cfg.seed))
+                })
             });
             let t3 = time_median(rc.reps, || {
                 with_threads(t, || sketch_alg3_par_rows(a, cfg, &uni_sampler(cfg.seed)))
@@ -318,17 +361,39 @@ pub fn toy_problem() -> (CscMatrix<f64>, SketchConfig) {
 
 /// Timed end-to-end smoke run used by `repro smoke` and tests: checks that
 /// every kernel agrees on a toy problem and returns the elapsed seconds.
+///
+/// When telemetry is on, the per-kernel byte counters are diffed around each
+/// kernel and compared against the §III-A cost model; the comparisons are
+/// printed and recorded as obskit `traffic` events (one per kernel), which is
+/// what `repro --obs-json` exports.
 pub fn smoke() -> f64 {
+    use obskit::Ctr;
+    use sketchcore::{CostModel, TrafficReport};
     let t0 = Instant::now();
     let (a, cfg) = toy_problem();
     let sampler = uni_sampler(cfg.seed);
+    let c0 = obskit::snapshot().counters;
     let x3 = sketch_alg3(&a, &cfg, &sampler);
+    let c1 = obskit::snapshot().counters;
     let blocked = BlockedCsr::from_csc(&a, cfg.b_n);
     let x4 = sketch_alg4(&blocked, &cfg, &sampler);
+    let c2 = obskit::snapshot().counters;
     let s = materialize_s(&sampler, cfg.d, a.nrows(), cfg.b_d);
     let xm = mkl_style(&a, &s);
     assert!(x3.diff_norm(&x4) < 1e-10 * x3.fro_norm().max(1.0));
     assert!(x3.diff_norm(&xm) < 1e-10 * x3.fro_norm().max(1.0));
+    if obskit::enabled() {
+        let model = CostModel::default_host();
+        let rho = a.density();
+        for (kernel, lo, hi) in [("alg3", &c0, &c1), ("alg4", &c1, &c2)] {
+            let flops = hi[Ctr::Flops as usize] - lo[Ctr::Flops as usize];
+            let measured = (hi[Ctr::BytesA as usize] - lo[Ctr::BytesA as usize])
+                + (hi[Ctr::BytesOut as usize] - lo[Ctr::BytesOut as usize]);
+            let rep = TrafficReport::compare(&model, rho, cfg.b_n, flops, 8, measured);
+            rep.emit(kernel);
+            println!("{}", rep.render(kernel));
+        }
+    }
     t0.elapsed().as_secs_f64()
 }
 

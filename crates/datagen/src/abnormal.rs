@@ -164,12 +164,18 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(abnormal_a::<f64>(50, 10, 5, 9), abnormal_a::<f64>(50, 10, 5, 9));
+        assert_eq!(
+            abnormal_a::<f64>(50, 10, 5, 9),
+            abnormal_a::<f64>(50, 10, 5, 9)
+        );
         assert_eq!(
             abnormal_b::<f64>(50, 12, 100, 0.9, 9),
             abnormal_b::<f64>(50, 12, 100, 0.9, 9)
         );
-        assert_eq!(abnormal_c::<f64>(50, 10, 5, 9), abnormal_c::<f64>(50, 10, 5, 9));
+        assert_eq!(
+            abnormal_c::<f64>(50, 10, 5, 9),
+            abnormal_c::<f64>(50, 10, 5, 9)
+        );
     }
 
     #[test]

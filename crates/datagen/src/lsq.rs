@@ -109,13 +109,76 @@ pub struct LsqPaperRow {
 
 /// The seven least-squares matrices of Table VIII.
 pub const TABLE8: [LsqPaperRow; 7] = [
-    LsqPaperRow { name: "rail2586", rows: 2586, cols: 923269, nnz: 8011362, cond: 496.0, cond_ad: 263.44, kind: CondKind::Benign, sap_qr: true },
-    LsqPaperRow { name: "spal_004", rows: 10203, cols: 321696, nnz: 46168124, cond: 39389.87, cond_ad: 1147.79, kind: CondKind::ColumnScaled, sap_qr: true },
-    LsqPaperRow { name: "rail4284", rows: 4284, cols: 1096894, nnz: 11284032, cond: 399.78, cond_ad: 333.87, kind: CondKind::Benign, sap_qr: true },
-    LsqPaperRow { name: "rail582", rows: 582, cols: 56097, nnz: 402290, cond: 185.91, cond_ad: 180.49, kind: CondKind::Benign, sap_qr: true },
-    LsqPaperRow { name: "specular", rows: 477976, cols: 1442, nnz: 7647040, cond: 2.31e14, cond_ad: 29.85, kind: CondKind::ColumnScaled, sap_qr: false },
-    LsqPaperRow { name: "connectus", rows: 458, cols: 394792, nnz: 1127525, cond: 1.27e16, cond_ad: 1.28e16, kind: CondKind::RankDeficient, sap_qr: false },
-    LsqPaperRow { name: "landmark", rows: 71952, cols: 2704, nnz: 1146848, cond: 1.39e18, cond_ad: 2.30e17, kind: CondKind::RankDeficient, sap_qr: false },
+    LsqPaperRow {
+        name: "rail2586",
+        rows: 2586,
+        cols: 923269,
+        nnz: 8011362,
+        cond: 496.0,
+        cond_ad: 263.44,
+        kind: CondKind::Benign,
+        sap_qr: true,
+    },
+    LsqPaperRow {
+        name: "spal_004",
+        rows: 10203,
+        cols: 321696,
+        nnz: 46168124,
+        cond: 39389.87,
+        cond_ad: 1147.79,
+        kind: CondKind::ColumnScaled,
+        sap_qr: true,
+    },
+    LsqPaperRow {
+        name: "rail4284",
+        rows: 4284,
+        cols: 1096894,
+        nnz: 11284032,
+        cond: 399.78,
+        cond_ad: 333.87,
+        kind: CondKind::Benign,
+        sap_qr: true,
+    },
+    LsqPaperRow {
+        name: "rail582",
+        rows: 582,
+        cols: 56097,
+        nnz: 402290,
+        cond: 185.91,
+        cond_ad: 180.49,
+        kind: CondKind::Benign,
+        sap_qr: true,
+    },
+    LsqPaperRow {
+        name: "specular",
+        rows: 477976,
+        cols: 1442,
+        nnz: 7647040,
+        cond: 2.31e14,
+        cond_ad: 29.85,
+        kind: CondKind::ColumnScaled,
+        sap_qr: false,
+    },
+    LsqPaperRow {
+        name: "connectus",
+        rows: 458,
+        cols: 394792,
+        nnz: 1127525,
+        cond: 1.27e16,
+        cond_ad: 1.28e16,
+        kind: CondKind::RankDeficient,
+        sap_qr: false,
+    },
+    LsqPaperRow {
+        name: "landmark",
+        rows: 71952,
+        cols: 2704,
+        nnz: 1146848,
+        cond: 1.39e18,
+        cond_ad: 2.30e17,
+        kind: CondKind::RankDeficient,
+        sap_qr: false,
+    },
 ];
 
 /// A generated least-squares problem.
@@ -313,7 +376,12 @@ pub fn lsq_suite(scale: usize) -> Vec<LsqProblem> {
             let density = paper.nnz as f64 / (paper.rows as f64 * paper.cols as f64);
             let spec = paper_spec(paper.name);
             let a = tall_conditioned(m, n, density, spec, 0xA11 + paper.rows as u64);
-            LsqProblem { name: paper.name, a, paper, spec }
+            LsqProblem {
+                name: paper.name,
+                a,
+                paper,
+                spec,
+            }
         })
         .collect()
 }
@@ -332,7 +400,10 @@ mod tests {
     fn well_conditioned_baseline() {
         let a = tall_conditioned(400, 40, 0.02, CondSpec::WELL, 3);
         let c = cond2(&densify(&a));
-        assert!(c.is_finite() && c < 1e3, "well-conditioned stand-in cond {c}");
+        assert!(
+            c.is_finite() && c < 1e3,
+            "well-conditioned stand-in cond {c}"
+        );
     }
 
     #[test]
@@ -344,7 +415,10 @@ mod tests {
         // cond ≈ 10^2.4 ≈ 250, within a factor ~4 either way.
         assert!(c > 60.0 && c < 2500.0, "chain cond {c}");
         // Equilibration must NOT collapse it.
-        assert!(c_ad > c / 10.0, "equilibration killed the chain: {c_ad} vs {c}");
+        assert!(
+            c_ad > c / 10.0,
+            "equilibration killed the chain: {c_ad} vs {c}"
+        );
         // And the spectrum must be spread, not clustered: the chain's
         // |1 + c·e^{iθ}| continuum puts ~16% of values below σmax/2.
         let sv = densekit::svd::svd_values(&d);
@@ -369,13 +443,20 @@ mod tests {
         let c = cond2(&d);
         let c_ad = cond2_equilibrated(&d);
         assert!(c > 1e10, "expected near-singular, got {c}");
-        assert!(c_ad > 1e8, "equilibration must NOT fix dependence, got {c_ad}");
+        assert!(
+            c_ad > 1e8,
+            "equilibration must NOT fix dependence, got {c_ad}"
+        );
     }
 
     #[test]
     fn chain_preserves_target_density() {
         let a = tall_conditioned(2000, 100, 0.01, CondSpec::chain(2.0), 9);
-        assert!((a.density() - 0.01).abs() < 0.004, "density {}", a.density());
+        assert!(
+            (a.density() - 0.01).abs() < 0.004,
+            "density {}",
+            a.density()
+        );
     }
 
     #[test]

@@ -31,11 +31,41 @@ pub struct PaperRow {
 
 /// The five SpMM benchmark matrices of Table I.
 pub const TABLE1: [PaperRow; 5] = [
-    PaperRow { name: "mk-12", d: 4455, m: 13860, n: 1485, nnz: 41580 },
-    PaperRow { name: "ch7-9-b3", d: 52920, m: 105840, n: 17640, nnz: 423360 },
-    PaperRow { name: "shar_te2-b2", d: 51480, m: 200200, n: 17160, nnz: 600600 },
-    PaperRow { name: "mesh_deform", d: 28179, m: 234023, n: 9393, nnz: 853829 },
-    PaperRow { name: "cis-n4c6-b4", d: 17910, m: 20058, n: 5970, nnz: 100290 },
+    PaperRow {
+        name: "mk-12",
+        d: 4455,
+        m: 13860,
+        n: 1485,
+        nnz: 41580,
+    },
+    PaperRow {
+        name: "ch7-9-b3",
+        d: 52920,
+        m: 105840,
+        n: 17640,
+        nnz: 423360,
+    },
+    PaperRow {
+        name: "shar_te2-b2",
+        d: 51480,
+        m: 200200,
+        n: 17160,
+        nnz: 600600,
+    },
+    PaperRow {
+        name: "mesh_deform",
+        d: 28179,
+        m: 234023,
+        n: 9393,
+        nnz: 853829,
+    },
+    PaperRow {
+        name: "cis-n4c6-b4",
+        d: 17910,
+        m: 20058,
+        n: 5970,
+        nnz: 100290,
+    },
 ];
 
 /// A generated stand-in together with the paper row it models.
@@ -67,7 +97,11 @@ pub fn boundary_like<T: Scalar>(m: usize, n: usize, k: usize, seed: u64) -> CscM
             }
         }
         for &c in &cols {
-            let v = if rng.next_u64() & 1 == 0 { T::ONE } else { -T::ONE };
+            let v = if rng.next_u64() & 1 == 0 {
+                T::ONE
+            } else {
+                -T::ONE
+            };
             coo.push_unchecked(i, c, v);
         }
     }
@@ -126,7 +160,12 @@ pub fn spmm_suite(scale: usize) -> Vec<NamedMatrix> {
                 }
                 _ => boundary_like::<f64>(m, n, per_row.max(1), 0xB0 + paper.d as u64),
             };
-            NamedMatrix { name: paper.name, d: 3 * n, matrix, paper }
+            NamedMatrix {
+                name: paper.name,
+                d: 3 * n,
+                matrix,
+                paper,
+            }
         })
         .collect()
 }

@@ -169,7 +169,10 @@ mod tests {
         let (m, p) = (10_000, 0.05);
         let sum: usize = (0..2000).map(|_| sample_binomial(m, p, &mut rng)).sum();
         let mean = sum as f64 / 2000.0;
-        assert!((mean - 500.0).abs() < 5.0, "large-mean binomial mean {mean}");
+        assert!(
+            (mean - 500.0).abs() < 5.0,
+            "large-mean binomial mean {mean}"
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ pub fn cond2_equilibrated<T: Scalar>(a: &Matrix<T>) -> f64 {
             norm2 = x.mul_add(x, norm2);
         }
         let norm = norm2.sqrt();
-        let s = if norm == T::ZERO { T::ONE } else { T::ONE / norm };
+        let s = if norm == T::ZERO {
+            T::ONE
+        } else {
+            T::ONE / norm
+        };
         for (dst, &x) in scaled.col_mut(j).iter_mut().zip(col.iter()) {
             *dst = x * s;
         }

@@ -7,7 +7,6 @@
 //! beat by a factor `√M` when `h` (RNG cost) is small.
 
 use crate::{Matrix, Scalar};
-use rayon::prelude::*;
 
 /// Tile edge for the blocked kernel; 64×64 f64 tiles ≈ 32 KiB, sized for L1.
 const TILE: usize = 64;
@@ -45,7 +44,7 @@ pub fn gemm<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, c: &mut Matrix<T>) {
     }
 }
 
-/// `C += A·B` parallelized over column panels of `C` with rayon.
+/// `C += A·B` parallelized over column panels of `C` with parkit.
 pub fn gemm_parallel<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, c: &mut Matrix<T>) {
     let (m, k, n) = (a.nrows(), a.ncols(), b.ncols());
     assert_eq!(b.nrows(), k, "inner dimension mismatch");
@@ -53,34 +52,31 @@ pub fn gemm_parallel<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, c: &mut Matrix<T>)
     assert_eq!(c.ncols(), n, "output cols mismatch");
 
     // Each worker owns a disjoint panel of C's columns: data-race free by
-    // construction (rayon chunks are disjoint &mut slices).
-    c.as_mut_slice()
-        .par_chunks_mut(m * TILE.max(1))
-        .enumerate()
-        .for_each(|(panel, c_panel)| {
-            let jc = panel * TILE;
-            let jhi = (jc + TILE).min(n);
-            for pc in (0..k).step_by(TILE) {
-                let phi = (pc + TILE).min(k);
-                for ic in (0..m).step_by(TILE) {
-                    let ihi = (ic + TILE).min(m);
-                    for j in jc..jhi {
-                        let local = j - jc;
-                        for p in pc..phi {
-                            let bpj = b[(p, j)];
-                            if bpj == T::ZERO {
-                                continue;
-                            }
-                            let a_col = &a.col(p)[ic..ihi];
-                            let c_col = &mut c_panel[local * m + ic..local * m + ihi];
-                            for (cv, &av) in c_col.iter_mut().zip(a_col.iter()) {
-                                *cv = av.mul_add(bpj, *cv);
-                            }
+    // construction (parkit chunks are disjoint &mut slices).
+    parkit::for_each_chunk_mut(c.as_mut_slice(), m * TILE.max(1), |panel, c_panel| {
+        let jc = panel * TILE;
+        let jhi = (jc + TILE).min(n);
+        for pc in (0..k).step_by(TILE) {
+            let phi = (pc + TILE).min(k);
+            for ic in (0..m).step_by(TILE) {
+                let ihi = (ic + TILE).min(m);
+                for j in jc..jhi {
+                    let local = j - jc;
+                    for p in pc..phi {
+                        let bpj = b[(p, j)];
+                        if bpj == T::ZERO {
+                            continue;
+                        }
+                        let a_col = &a.col(p)[ic..ihi];
+                        let c_col = &mut c_panel[local * m + ic..local * m + ihi];
+                        for (cv, &av) in c_col.iter_mut().zip(a_col.iter()) {
+                            *cv = av.mul_add(bpj, *cv);
                         }
                     }
                 }
             }
-        });
+        }
+    });
 }
 
 /// Reference triple-loop GEMM for verification (`C = A·B`, overwriting).
@@ -115,7 +111,13 @@ mod tests {
 
     #[test]
     fn blocked_matches_reference() {
-        for (m, k, n) in [(5, 7, 3), (64, 64, 64), (100, 33, 129), (1, 1, 1), (130, 65, 64)] {
+        for (m, k, n) in [
+            (5, 7, 3),
+            (64, 64, 64),
+            (100, 33, 129),
+            (1, 1, 1),
+            (130, 65, 64),
+        ] {
             let a = filled(m, k, 1);
             let b = filled(k, n, 2);
             let reference = gemm_reference(&a, &b);

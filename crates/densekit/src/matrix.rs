@@ -120,8 +120,7 @@ impl<T: Scalar> Matrix<T> {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
         y.fill(T::ZERO);
-        for j in 0..self.ncols {
-            let xj = x[j];
+        for (j, &xj) in x.iter().enumerate() {
             if xj == T::ZERO {
                 continue;
             }
@@ -155,9 +154,7 @@ impl<T: Scalar> Matrix<T> {
 
     /// Max absolute entry.
     pub fn max_abs(&self) -> T {
-        self.data
-            .iter()
-            .fold(T::ZERO, |m, &v| m.max_s(v.abs()))
+        self.data.iter().fold(T::ZERO, |m, &v| m.max_s(v.abs()))
     }
 
     /// Sub-matrix copy `A[r0..r1, c0..c1]`.

@@ -150,7 +150,9 @@ mod tests {
     fn filled(m: usize, n: usize, seed: u64) -> Matrix<f64> {
         let mut s = seed;
         Matrix::from_fn(m, n, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         })
     }

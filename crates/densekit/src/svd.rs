@@ -140,7 +140,11 @@ impl<T: Scalar> ThinSvd<T> {
             let mu = if denom == T::ZERO {
                 t22
             } else {
-                let sign = if delta.to_f64() >= 0.0 { T::ONE } else { -T::ONE };
+                let sign = if delta.to_f64() >= 0.0 {
+                    T::ONE
+                } else {
+                    -T::ONE
+                };
                 t22 - sign * t12 * t12 / denom
             };
 
@@ -366,7 +370,9 @@ mod tests {
     fn filled(m: usize, n: usize, seed: u64) -> Matrix<f64> {
         let mut s = seed;
         Matrix::from_fn(m, n, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         })
     }
@@ -389,7 +395,13 @@ mod tests {
         // Orthonormality of V.
         for i in 0..n {
             for j in 0..n {
-                let dot: f64 = svd.v.col(i).iter().zip(svd.v.col(j)).map(|(a, b)| a * b).sum();
+                let dot: f64 = svd
+                    .v
+                    .col(i)
+                    .iter()
+                    .zip(svd.v.col(j))
+                    .map(|(a, b)| a * b)
+                    .sum();
                 let expect = if i == j { 1.0 } else { 0.0 };
                 assert!(
                     (dot - expect).abs() < 1e-10,

@@ -7,8 +7,8 @@
 //! standard pair in sketch-and-precondition pipelines (RandBLAS exposes
 //! both); `repro`'s solver ablation can swap them.
 
-use crate::op::LinOp;
 use crate::lsqr::StopReason;
+use crate::op::LinOp;
 
 /// LSMR options.
 #[derive(Clone, Copy, Debug)]
@@ -56,7 +56,17 @@ fn scale_in_place(v: &mut [f64], s: f64) {
 }
 
 /// Run LSMR on `op` with right-hand side `b`.
+///
+/// Emits `lsmr_iter` obskit events (iteration, relative `‖Aᵀr‖`, elapsed
+/// seconds) at the `SKETCH_OBS_SOLVER_STRIDE` cadence when telemetry is on.
 pub fn lsmr<A: LinOp>(op: &mut A, b: &[f64], opts: &LsmrOptions) -> LsmrResult {
+    let _sp = obskit::span("lstsq/lsmr");
+    let t_start = std::time::Instant::now();
+    let stride = if obskit::enabled() {
+        obskit::solver_event_stride()
+    } else {
+        0
+    };
     let m = op.nrows();
     let n = op.ncols();
     assert_eq!(b.len(), m, "rhs length mismatch");
@@ -161,10 +171,6 @@ pub fn lsmr<A: LinOp>(op: &mut A, b: &[f64], opts: &LsmrOptions) -> LsmrResult {
 
         // Convergence: ‖Aᵀr‖ = |ζ̄| (exact in exact arithmetic).
         let atr = zetabar.abs();
-        if atr == 0.0 {
-            stop = StopReason::AtolSatisfied;
-            break;
-        }
         // Periodic exact residual for a trustworthy denominator; otherwise a
         // cheap upper bound ‖r‖ ≤ ‖b‖ is used (conservative).
         let rnorm = if iters % opts.refresh == 0 {
@@ -178,11 +184,29 @@ pub fn lsmr<A: LinOp>(op: &mut A, b: &[f64], opts: &LsmrOptions) -> LsmrResult {
         } else {
             beta1
         };
-        if atr <= opts.atol * anorm2.sqrt() * rnorm {
+        let rel_atr = atr / (anorm2.sqrt() * rnorm).max(f64::MIN_POSITIVE);
+        let stopping = atr == 0.0 || atr <= opts.atol * anorm2.sqrt() * rnorm;
+        let last = stopping || iters == opts.max_iters;
+        if stride > 0 && (last || (iters as u64).is_multiple_of(stride)) {
+            obskit::event(
+                "lsmr_iter",
+                vec![
+                    ("iter", obskit::Value::U(iters as u64)),
+                    ("rel_resid", obskit::Value::F(rel_atr)),
+                    ("atr_norm", obskit::Value::F(atr)),
+                    (
+                        "elapsed_s",
+                        obskit::Value::F(t_start.elapsed().as_secs_f64()),
+                    ),
+                ],
+            );
+        }
+        if stopping {
             stop = StopReason::AtolSatisfied;
             break;
         }
     }
+    obskit::add(obskit::Ctr::SolverIters, iters as u64);
 
     LsmrResult {
         x,
@@ -202,7 +226,9 @@ mod tests {
     fn random_tall(m: usize, n: usize, seed: u64) -> CscMatrix<f64> {
         let mut s = seed | 1;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s >> 11
         };
         let mut coo = CooMatrix::new(m, n);

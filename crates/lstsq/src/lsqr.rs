@@ -71,7 +71,19 @@ fn scale_in_place(v: &mut [f64], s: f64) {
 }
 
 /// Run LSQR on `op` with right-hand side `b`.
+///
+/// When obskit telemetry is on, every `SKETCH_OBS_SOLVER_STRIDE`-th
+/// iteration (and the stopping one) is recorded as an `lsqr_iter` event
+/// carrying the iteration number, the relative normal-equation residual and
+/// the elapsed seconds — the convergence traces behind Table IX.
 pub fn lsqr<A: LinOp>(op: &mut A, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
+    let _sp = obskit::span("lstsq/lsqr");
+    let t_start = std::time::Instant::now();
+    let stride = if obskit::enabled() {
+        obskit::solver_event_stride()
+    } else {
+        0
+    };
     let m = op.nrows();
     let n = op.ncols();
     assert_eq!(b.len(), m, "rhs length mismatch");
@@ -170,19 +182,36 @@ pub fn lsqr<A: LinOp>(op: &mut A, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
         } else {
             0.0
         };
-        if rnorm == 0.0 {
-            stop = StopReason::ResidualZero;
-            break;
+        let stopping = if rnorm == 0.0 {
+            Some(StopReason::ResidualZero)
+        } else if rel_atr <= opts.atol {
+            Some(StopReason::AtolSatisfied)
+        } else if rnorm <= opts.btol * bnorm + opts.atol * anorm * norm2(&x) {
+            Some(StopReason::BtolSatisfied)
+        } else {
+            None
+        };
+        let last = stopping.is_some() || iters == opts.max_iters;
+        if stride > 0 && (last || (iters as u64).is_multiple_of(stride)) {
+            obskit::event(
+                "lsqr_iter",
+                vec![
+                    ("iter", obskit::Value::U(iters as u64)),
+                    ("rel_resid", obskit::Value::F(rel_atr)),
+                    ("resid_norm", obskit::Value::F(rnorm)),
+                    (
+                        "elapsed_s",
+                        obskit::Value::F(t_start.elapsed().as_secs_f64()),
+                    ),
+                ],
+            );
         }
-        if rel_atr <= opts.atol {
-            stop = StopReason::AtolSatisfied;
-            break;
-        }
-        if rnorm <= opts.btol * bnorm + opts.atol * anorm * norm2(&x) {
-            stop = StopReason::BtolSatisfied;
+        if let Some(reason) = stopping {
+            stop = reason;
             break;
         }
     }
+    obskit::add(obskit::Ctr::SolverIters, iters as u64);
 
     LsqrResult {
         x,
@@ -202,7 +231,9 @@ mod tests {
     fn random_tall(m: usize, n: usize, seed: u64) -> CscMatrix<f64> {
         let mut s = seed | 1;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s >> 11
         };
         let mut coo = CooMatrix::new(m, n);

@@ -64,7 +64,10 @@ pub fn solve_lsrn(
     let t_start = std::time::Instant::now();
     let n = a.ncols();
     assert!(a.nrows() >= n, "LSRN overdetermined path expects m ≥ n");
-    assert!(gamma >= 2, "LSRN wants γ ≥ 2 for its conditioning guarantee");
+    assert!(
+        gamma >= 2,
+        "LSRN wants γ ≥ 2 for its conditioning guarantee"
+    );
     let d = gamma * n;
     let cfg = SketchConfig::new(d, 3000.min(d), 500.min(n), seed);
 
@@ -167,13 +170,12 @@ mod tests {
         assert!(backward_error(&a, &u.x, &b) < 1e-10);
         // Solutions agree.
         let scale: f64 = g.x.iter().map(|v| v * v).sum::<f64>().sqrt();
-        let diff: f64 = g
-            .x
-            .iter()
-            .zip(u.x.iter())
-            .map(|(p, q)| (p - q) * (p - q))
-            .sum::<f64>()
-            .sqrt();
+        let diff: f64 =
+            g.x.iter()
+                .zip(u.x.iter())
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum::<f64>()
+                .sqrt();
         assert!(diff < 1e-7 * scale, "solutions differ by {diff}");
     }
 
@@ -191,6 +193,13 @@ mod tests {
     #[should_panic(expected = "γ ≥ 2")]
     fn gamma_one_rejected() {
         let a = tall_conditioned(100, 10, 0.1, CondSpec::WELL, 1);
-        let _ = solve_lsrn(&a, &[0.0; 100], 1, LsrnSketch::Gaussian, 1, &LsqrOptions::default());
+        let _ = solve_lsrn(
+            &a,
+            &[0.0; 100],
+            1,
+            LsrnSketch::Gaussian,
+            1,
+            &LsqrOptions::default(),
+        );
     }
 }

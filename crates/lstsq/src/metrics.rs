@@ -30,14 +30,18 @@ pub fn backward_error(a: &CscMatrix<f64>, x: &[f64], b: &[f64]) -> f64 {
 }
 
 /// Memory comparison row for Table XI, all in bytes.
+///
+/// Every field is `u64`: byte totals come from different sources (in-memory
+/// `usize` sizes, closed-form fill estimates) and a single width keeps the
+/// arithmetic between columns lossless on 32-bit hosts too.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MemoryReport {
     /// SAP's extra memory (dense sketch + factor).
-    pub sap: usize,
+    pub sap: u64,
     /// Direct sparse QR's factor memory (R fill + Q rotations).
     pub direct: u64,
     /// The input matrix's own CSC storage.
-    pub mem_a: usize,
+    pub mem_a: u64,
 }
 
 impl MemoryReport {

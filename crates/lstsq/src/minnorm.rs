@@ -121,7 +121,9 @@ mod tests {
     fn datagen_free_tall(m: usize, n: usize, density: f64, seed: u64) -> CscMatrix<f64> {
         let mut state = seed | 1;
         let mut nextf = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let mut coo = sparsekit::CooMatrix::new(m, n);
@@ -173,7 +175,12 @@ mod tests {
         // Feasibility and minimality.
         let mut ax = vec![0.0; 30];
         a.spmv(&rep.x, &mut ax);
-        let resid: f64 = ax.iter().zip(b.iter()).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        let resid: f64 = ax
+            .iter()
+            .zip(b.iter())
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
         let bnorm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(resid < 1e-9 * bnorm, "infeasible: {resid}");
         let norm_got: f64 = rep.x.iter().map(|v| v * v).sum::<f64>().sqrt();

@@ -122,14 +122,13 @@ mod tests {
         let dense = Matrix::from_fn(a.nrows(), a.ncols(), |i, j| a.get(i, j));
         let x_ref = densekit::HouseholderQr::factor(&dense).solve_ls(&b);
         let scale: f64 = x_ref.iter().map(|v| v * v).sum::<f64>().sqrt();
-        let fwd_ne: f64 = ne
-            .x
-            .iter()
-            .zip(x_ref.iter())
-            .map(|(p, q)| (p - q) * (p - q))
-            .sum::<f64>()
-            .sqrt()
-            / scale;
+        let fwd_ne: f64 =
+            ne.x.iter()
+                .zip(x_ref.iter())
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum::<f64>()
+                .sqrt()
+                / scale;
         // With cond ~ 1e6, NE forward error ~ cond²·eps ≈ 1e-4; QR-grade
         // methods sit near cond·eps ≈ 1e-10. Require a visible gap.
         assert!(

@@ -99,7 +99,7 @@ impl<A: LinOp, M: Preconditioner> LinOp for PrecondOp<'_, A, M> {
 }
 
 /// A CSB matrix viewed as an operator: both `A·x` and `Aᵀ·x` parallelize
-/// (rayon over block-rows / block-columns), which accelerates LSQR's
+/// (parkit over block-rows / block-columns), which accelerates LSQR's
 /// per-iteration cost on multicore hosts.
 pub struct CsbOp {
     a: sparsekit::CsbMatrix<f64>,

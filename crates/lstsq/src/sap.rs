@@ -84,6 +84,7 @@ pub struct SapReport {
 
 /// Solve `min ‖Ax − b‖₂` by sketch-and-precondition.
 pub fn solve_sap(a: &CscMatrix<f64>, b: &[f64], opts: &SapOptions) -> SapReport {
+    let _sp = obskit::span("lstsq/sap");
     let t_start = Instant::now();
     let n = a.ncols();
     assert!(n > 0, "empty matrix");
@@ -94,7 +95,10 @@ pub fn solve_sap(a: &CscMatrix<f64>, b: &[f64], opts: &SapOptions) -> SapReport 
     let t0 = Instant::now();
     let cfg = SketchConfig::new(d, opts.b_d, opts.b_n, opts.seed);
     let sampler = UnitUniform::<f64>::sampler(FastRng::new(opts.seed));
-    let ahat = sketch_alg3_par_cols(a, &cfg, &sampler);
+    let ahat = {
+        let _sp = obskit::span("lstsq/sap/sketch");
+        sketch_alg3_par_cols(a, &cfg, &sampler)
+    };
     // Normalize variance so σ(SQ) ≈ 1·‖Q‖: entries are uniform(-1,1) with
     // variance 1/3; divide by √(d/3) to make E‖S q‖² = ‖q‖².
     let mut ahat = ahat;
@@ -103,9 +107,9 @@ pub fn solve_sap(a: &CscMatrix<f64>, b: &[f64], opts: &SapOptions) -> SapReport 
     let sketch_bytes = ahat.memory_bytes();
 
     // Phase 2: factor.
+    let _sp_factor = obskit::span("lstsq/sap/factor");
     let t1 = Instant::now();
-    let (precond, factor_bytes, rank): (Box<dyn Preconditioner>, usize, usize) = match opts.flavor
-    {
+    let (precond, factor_bytes, rank): (Box<dyn Preconditioner>, usize, usize) = match opts.flavor {
         SapFlavor::Qr => {
             let r = householder_qr_r(&ahat);
             let p = UpperTriPrecond::new(r);
@@ -121,16 +125,33 @@ pub fn solve_sap(a: &CscMatrix<f64>, b: &[f64], opts: &SapOptions) -> SapReport 
         }
     };
     let factor_s = t1.elapsed().as_secs_f64();
+    drop(_sp_factor);
     drop(ahat); // the sketch is no longer needed once factored
 
     // Phase 3: preconditioned LSQR on the original A.
     let t2 = Instant::now();
     let mut aop = CscOp::new(a);
     let mut pop = BoxedPrecondOp::new(&mut aop, precond.as_ref());
-    let result = lsqr(&mut pop, b, &opts.lsqr);
+    let result = {
+        let _sp = obskit::span("lstsq/sap/solve");
+        lsqr(&mut pop, b, &opts.lsqr)
+    };
     let mut x = vec![0.0; n];
     precond.apply(&result.x, &mut x);
     let solve_s = t2.elapsed().as_secs_f64();
+
+    obskit::event(
+        "sap",
+        vec![
+            ("flavor", obskit::Value::S(format!("{:?}", opts.flavor))),
+            ("n", obskit::Value::U(n as u64)),
+            ("d", obskit::Value::U(d as u64)),
+            ("iters", obskit::Value::U(result.iters as u64)),
+            ("sketch_s", obskit::Value::F(sketch_s)),
+            ("factor_s", obskit::Value::F(factor_s)),
+            ("solve_s", obskit::Value::F(solve_s)),
+        ],
+    );
 
     SapReport {
         x,

@@ -71,7 +71,7 @@ pub fn sparse_qr_solve(a: &CscMatrix<f64>, b: &[f64]) -> SparseQrReport {
     let mut merged_r: Vec<f64> = Vec::new();
     let mut merged_w: Vec<f64> = Vec::new();
 
-    for i in 0..m {
+    for (i, &bi) in b.iter().enumerate().take(m) {
         let (cols, vals) = csr.row(i);
         if cols.is_empty() {
             continue;
@@ -80,10 +80,9 @@ pub fn sparse_qr_solve(a: &CscMatrix<f64>, b: &[f64]) -> SparseQrReport {
         w_vals.clear();
         w_cols.extend(cols.iter().map(|&c| c as u32));
         w_vals.extend_from_slice(vals);
-        let mut w_rhs = b[i];
+        let mut w_rhs = bi;
 
-        loop {
-            let Some(&lead) = w_cols.first() else { break };
+        while let Some(&lead) = w_cols.first() {
             let slot = &mut r[lead as usize];
             match slot {
                 None => {
@@ -228,7 +227,9 @@ mod tests {
     fn random_tall(m: usize, n: usize, extra: usize, seed: u64) -> CscMatrix<f64> {
         let mut s = seed | 1;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s >> 11
         };
         let mut coo = CooMatrix::new(m, n);

@@ -1,0 +1,286 @@
+#![warn(missing_docs)]
+//! # microbench — an offline, criterion-shaped bench harness
+//!
+//! The bench files in `crates/bench/benches/` were written against
+//! criterion's API (`criterion_group!`, `Criterion::benchmark_group`,
+//! `Bencher::iter`, `Throughput`). This crate re-implements exactly that
+//! surface with std-only code so the benches build and run without any
+//! registry access; `crates/bench` aliases it as `criterion` in its
+//! manifest (`criterion = { package = "microbench", .. }`).
+//!
+//! Methodology is intentionally simple: per benchmark, one warm-up call,
+//! then `sample_size` timed samples (cheap closures are batched until a
+//! sample exceeds ~20µs so timer resolution doesn't dominate). The median,
+//! min and max are printed, plus derived throughput when the group set one.
+//! Every result is also recorded as an obskit `bench` event, so a
+//! `SKETCH_OBS_JSON=path cargo bench` run leaves a machine-readable JSONL
+//! trail behind.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Throughput declaration for a benchmark group (criterion-compatible).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (criterion-compatible).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f`: one warm-up call, then `sample_size` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        // Batch cheap closures so one sample is at least ~20µs.
+        let t0 = Instant::now();
+        black_box(f());
+        let probe = t0.elapsed().as_secs_f64();
+        let batch = if probe > 0.0 && probe < 2e-5 {
+            ((2e-5 / probe).ceil() as usize).clamp(1, 1 << 20)
+        } else {
+            1
+        };
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration throughput for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: String, mut f: F) {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let mut s = b.samples;
+        if s.is_empty() {
+            println!("{}/{label}: no samples", self.name);
+            return;
+        }
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = s[s.len() / 2];
+        let (lo, hi) = (s[0], s[s.len() - 1]);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  {:.3} Melem/s", n as f64 / median / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  {:.3} GB/s", n as f64 / median / 1e9)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{label}: median {} (range {} .. {}, {} samples){rate}",
+            self.name,
+            fmt_time(median),
+            fmt_time(lo),
+            fmt_time(hi),
+            s.len()
+        );
+        obskit::event(
+            "bench",
+            vec![
+                ("group", obskit::Value::S(self.name.clone())),
+                ("name", obskit::Value::S(label)),
+                ("median_s", obskit::Value::F(median)),
+                ("min_s", obskit::Value::F(lo)),
+                ("max_s", obskit::Value::F(hi)),
+            ],
+        );
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<N: Display, F: FnMut(&mut Bencher)>(&mut self, id: N, f: F) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<N: Display, I: ?Sized, F>(
+        &mut self,
+        id: N,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing is incremental, so this is bookkeeping only).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness handle (criterion-compatible).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<N: Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Called by `criterion_main!` after all groups: exports obskit JSONL when
+/// `SKETCH_OBS_JSON` is set.
+pub fn finalize() {
+    if let Some(path) = obskit::json_path_from_env() {
+        let snap = obskit::snapshot();
+        match snap.write_jsonl(&path) {
+            Ok(()) => eprintln!("obskit: wrote {path}"),
+            Err(e) => eprintln!("obskit: failed to write {path}: {e}"),
+        }
+    }
+}
+
+/// Define a benchmark group function from target functions
+/// (criterion-compatible subset: positional form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` from benchmark group functions (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(1000));
+        let mut runs = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        // warm-up + probe + 3 samples × batch ≥ 1 ⇒ at least 5 calls.
+        assert!(runs >= 5, "ran {runs} times");
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t2");
+        g.sample_size(2);
+        let data = vec![1u64, 2, 3];
+        let mut seen = 0u64;
+        g.bench_with_input(BenchmarkId::new("sum", 3), &data, |b, d| {
+            b.iter(|| {
+                seen = d.iter().sum();
+                seen
+            })
+        });
+        assert_eq!(seen, 6);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

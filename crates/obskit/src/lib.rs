@@ -1,0 +1,768 @@
+#![warn(missing_docs)]
+//! # obskit — zero-dependency telemetry for the sketching pipeline
+//!
+//! The paper's evaluation is built on instrumentation: Tables III/V split
+//! sample time from compute time, §IV compares memory traffic against the
+//! cost model, Table IX tracks solver convergence. This crate is the one
+//! place all of that is recorded:
+//!
+//! * **Spans** — hierarchical wall-clock timers (`sketch/alg3/sample`),
+//!   accumulated per thread and merged into a global registry when worker
+//!   threads finish (parkit flushes at its join points) or on demand.
+//! * **Counters** — typed tallies of samples drawn, `set_state` seeks,
+//!   flops, and bytes moved, bumped at *block* granularity by the kernels.
+//! * **Events** — per-iteration solver records (iteration, relative
+//!   residual, elapsed seconds) and free-form records like the
+//!   measured-vs-model traffic comparison.
+//! * **Sinks** — a human summary table ([`Snapshot::summary`]) and
+//!   machine-readable JSONL ([`Snapshot::write_jsonl`], path from
+//!   `SKETCH_OBS_JSON` or the `repro --obs-json` flag).
+//!
+//! ## Gating
+//!
+//! Recording is off when the `obs` cargo feature is disabled (compile-time,
+//! every call is a removable no-op) or when `SKETCH_OBS=0` (run-time). The
+//! run-time disabled path costs exactly one relaxed atomic load per call —
+//! the kernels only call at block granularity, never per nonzero, so the
+//! uninstrumented hot loops run at full speed.
+//!
+//! ## No dependencies
+//!
+//! std only: atomics, `thread_local!`, `Mutex`. The JSON writer is
+//! hand-rolled (no serde), which keeps the crate buildable fully offline.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Typed counters the kernels and solvers bump.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Ctr {
+    /// Random samples drawn (entries of `S` regenerated).
+    Samples = 0,
+    /// `set_state` checkpoint seeks performed.
+    Seeks = 1,
+    /// Useful flops (multiply-adds count as 2).
+    Flops = 2,
+    /// Bytes of the sparse operand `A` streamed (values + indices).
+    BytesA = 3,
+    /// Bytes of the output `Â` moved (read + write at block granularity).
+    BytesOut = 4,
+    /// Solver iterations performed (LSQR/LSMR).
+    SolverIters = 5,
+}
+
+/// Number of counter slots.
+pub const NCTR: usize = 6;
+
+/// Counter names in slot order (JSONL and summary labels).
+pub const CTR_NAMES: [&str; NCTR] = [
+    "samples",
+    "seeks",
+    "flops",
+    "bytes_a",
+    "bytes_out",
+    "solver_iters",
+];
+
+/// Hard cap on buffered events; beyond it events are counted as dropped
+/// rather than silently discarded.
+pub const MAX_EVENTS: usize = 1 << 20;
+
+// --- gating ------------------------------------------------------------
+
+// 0 = uninitialized, 1 = disabled, 2 = enabled.
+static GATE: AtomicU8 = AtomicU8::new(0);
+
+#[cold]
+fn init_gate() -> bool {
+    let on = match std::env::var("SKETCH_OBS") {
+        Ok(v) => !matches!(v.trim(), "0" | "off" | "false" | "no"),
+        Err(_) => true,
+    };
+    GATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Is telemetry recording on? One relaxed atomic load on the hot path.
+#[inline(always)]
+pub fn enabled() -> bool {
+    if !cfg!(feature = "obs") {
+        return false;
+    }
+    match GATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_gate(),
+    }
+}
+
+/// Override the `SKETCH_OBS` gate programmatically (tests, harnesses).
+pub fn set_enabled(on: bool) {
+    GATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Process epoch for event timestamps (first telemetry touch).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+// --- global registry ---------------------------------------------------
+
+/// Accumulated statistics of one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Total nanoseconds inside the span.
+    pub ns: u64,
+    /// Number of completed span instances.
+    pub calls: u64,
+}
+
+/// One recorded event: a kind tag plus typed fields.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Event kind (e.g. `"lsqr_iter"`, `"traffic"`).
+    pub kind: &'static str,
+    /// Seconds since the process telemetry epoch.
+    pub ts: f64,
+    /// Field name/value pairs.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// A typed event field value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// Unsigned integer.
+    U(u64),
+    /// Signed integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+    /// String.
+    S(String),
+    /// Boolean.
+    B(bool),
+}
+
+struct Registry {
+    spans: Mutex<HashMap<&'static str, SpanStat>>,
+    counters: [AtomicU64; NCTR],
+    events: Mutex<Vec<Event>>,
+    dropped_events: AtomicU64,
+}
+
+fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| Registry {
+        spans: Mutex::new(HashMap::new()),
+        counters: std::array::from_fn(|_| AtomicU64::new(0)),
+        events: Mutex::new(Vec::new()),
+        dropped_events: AtomicU64::new(0),
+    })
+}
+
+// --- per-thread accumulators -------------------------------------------
+
+#[derive(Default)]
+struct Local {
+    counters: [u64; NCTR],
+    spans: HashMap<&'static str, SpanStat>,
+}
+
+impl Local {
+    fn flush(&mut self) {
+        let reg = registry();
+        for (slot, v) in self.counters.iter_mut().enumerate() {
+            if *v != 0 {
+                reg.counters[slot].fetch_add(*v, Ordering::Relaxed);
+                *v = 0;
+            }
+        }
+        if !self.spans.is_empty() {
+            let mut g = reg.spans.lock().unwrap();
+            for (path, s) in self.spans.drain() {
+                let e = g.entry(path).or_default();
+                e.ns += s.ns;
+                e.calls += s.calls;
+            }
+        }
+    }
+}
+
+// Flushes whatever the thread accumulated when the thread exits, so scoped
+// worker threads merge their numbers into the registry at join time even if
+// the caller forgets an explicit `flush_thread`.
+struct LocalGuard(RefCell<Local>);
+
+impl Drop for LocalGuard {
+    fn drop(&mut self) {
+        self.0.borrow_mut().flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: LocalGuard = LocalGuard(RefCell::new(Local::default()));
+}
+
+fn with_local(f: impl FnOnce(&mut Local)) {
+    // During thread teardown the TLS slot may already be gone; drop the
+    // record rather than panic.
+    let _ = LOCAL.try_with(|l| f(&mut l.0.borrow_mut()));
+}
+
+/// Bump a counter by `n` on this thread's accumulator (no-op when disabled).
+#[inline]
+pub fn add(c: Ctr, n: u64) {
+    if !enabled() || n == 0 {
+        return;
+    }
+    with_local(|l| l.counters[c as usize] += n);
+}
+
+/// Record `ns` nanoseconds against span `path` without a guard.
+#[inline]
+pub fn span_add_ns(path: &'static str, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|l| {
+        let e = l.spans.entry(path).or_default();
+        e.ns += ns;
+        e.calls += 1;
+    });
+}
+
+/// Merge this thread's accumulators into the global registry now. parkit
+/// calls this at the end of every worker closure — the "merge at join
+/// points" contract — and it is harmless to call redundantly.
+pub fn flush_thread() {
+    if !cfg!(feature = "obs") {
+        return;
+    }
+    with_local(|l| l.flush());
+}
+
+/// RAII span timer: time from construction to drop is added to `path`.
+#[must_use = "a span records on drop; binding it to _ discards the timing"]
+pub struct SpanGuard {
+    path: &'static str,
+    t0: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Seconds elapsed so far (0 when telemetry is disabled).
+    pub fn elapsed_s(&self) -> f64 {
+        self.t0.map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(t0) = self.t0 {
+            span_add_ns(self.path, t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Start a span. Paths are `/`-separated to express hierarchy
+/// (`"sketch/alg3"`, `"sketch/alg3/sample"`); the summary table indents by
+/// path depth.
+#[inline]
+pub fn span(path: &'static str) -> SpanGuard {
+    SpanGuard {
+        path,
+        t0: if enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        },
+    }
+}
+
+/// Record an event (bounded buffer; overflow is counted, not silent).
+pub fn event(kind: &'static str, fields: Vec<(&'static str, Value)>) {
+    if !enabled() {
+        return;
+    }
+    let ts = epoch().elapsed().as_secs_f64();
+    let reg = registry();
+    let mut ev = reg.events.lock().unwrap();
+    if ev.len() >= MAX_EVENTS {
+        reg.dropped_events.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    ev.push(Event { kind, ts, fields });
+}
+
+/// Stride for per-iteration solver events, from `SKETCH_OBS_SOLVER_STRIDE`
+/// (default 1: every iteration). Iteration `i` is recorded when
+/// `i % stride == 0` or the solver stops at `i`.
+pub fn solver_event_stride() -> u64 {
+    static STRIDE: OnceLock<u64> = OnceLock::new();
+    *STRIDE.get_or_init(|| {
+        std::env::var("SKETCH_OBS_SOLVER_STRIDE")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&s| s > 0)
+            .unwrap_or(1)
+    })
+}
+
+// --- local accumulator for instrumented kernels ------------------------
+
+/// An always-on span/counter accumulator owned by one call frame.
+///
+/// The instrumented kernels must hand their measurements back to the caller
+/// (`SketchTiming`) even when the global gate is off, so they record into a
+/// `LocalSpans` unconditionally and [`LocalSpans::publish`] mirrors the
+/// totals into the global registry if telemetry is enabled. `SketchTiming`
+/// is then a *view* over these spans rather than a second implementation.
+#[derive(Clone, Debug, Default)]
+pub struct LocalSpans {
+    spans: Vec<(&'static str, SpanStat)>,
+    counters: [u64; NCTR],
+}
+
+impl LocalSpans {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `ns` nanoseconds (one call) to `path`.
+    pub fn add_ns(&mut self, path: &'static str, ns: u64) {
+        match self.spans.iter_mut().find(|(p, _)| *p == path) {
+            Some((_, s)) => {
+                s.ns += ns;
+                s.calls += 1;
+            }
+            None => self.spans.push((path, SpanStat { ns, calls: 1 })),
+        }
+    }
+
+    /// Bump a counter.
+    pub fn count(&mut self, c: Ctr, n: u64) {
+        self.counters[c as usize] += n;
+    }
+
+    /// Total seconds recorded against `path` (0 if absent).
+    pub fn secs(&self, path: &str) -> f64 {
+        self.spans
+            .iter()
+            .find(|(p, _)| *p == path)
+            .map(|(_, s)| s.ns as f64 * 1e-9)
+            .unwrap_or(0.0)
+    }
+
+    /// Counter value.
+    pub fn counter(&self, c: Ctr) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Mirror the totals into the global registry (if enabled).
+    pub fn publish(&self) {
+        if !enabled() {
+            return;
+        }
+        with_local(|l| {
+            for (path, s) in &self.spans {
+                let e = l.spans.entry(path).or_default();
+                e.ns += s.ns;
+                e.calls += s.calls;
+            }
+            for (slot, v) in self.counters.iter().enumerate() {
+                l.counters[slot] += v;
+            }
+        });
+    }
+}
+
+// --- snapshot & sinks --------------------------------------------------
+
+/// A point-in-time copy of everything recorded so far.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Span statistics sorted by path.
+    pub spans: Vec<(String, SpanStat)>,
+    /// Counter values in [`Ctr`] slot order.
+    pub counters: [u64; NCTR],
+    /// Recorded events in arrival order.
+    pub events: Vec<Event>,
+    /// Events lost to the [`MAX_EVENTS`] cap.
+    pub dropped_events: u64,
+}
+
+/// Snapshot the registry (flushes the calling thread first).
+pub fn snapshot() -> Snapshot {
+    flush_thread();
+    let reg = registry();
+    let mut spans: Vec<(String, SpanStat)> = reg
+        .spans
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect();
+    spans.sort_by(|a, b| a.0.cmp(&b.0));
+    Snapshot {
+        spans,
+        counters: std::array::from_fn(|i| reg.counters[i].load(Ordering::Relaxed)),
+        events: reg.events.lock().unwrap().clone(),
+        dropped_events: reg.dropped_events.load(Ordering::Relaxed),
+    }
+}
+
+/// Clear all recorded spans, counters and events (calling thread flushed
+/// and discarded first). Other threads' unflushed locals survive a reset.
+pub fn reset() {
+    if !cfg!(feature = "obs") {
+        return;
+    }
+    with_local(|l| {
+        l.counters = [0; NCTR];
+        l.spans.clear();
+    });
+    let reg = registry();
+    reg.spans.lock().unwrap().clear();
+    for c in &reg.counters {
+        c.store(0, Ordering::Relaxed);
+    }
+    reg.events.lock().unwrap().clear();
+    reg.dropped_events.store(0, Ordering::Relaxed);
+}
+
+/// The JSONL sink path configured by the environment (`SKETCH_OBS_JSON`).
+pub fn json_path_from_env() -> Option<String> {
+    std::env::var("SKETCH_OBS_JSON")
+        .ok()
+        .filter(|p| !p.is_empty())
+}
+
+fn json_escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        // JSON has no NaN/Inf; encode as null like most exporters do.
+        out.push_str("null");
+    }
+}
+
+impl Value {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F(v) => json_f64(out, *v),
+            Value::S(v) => {
+                out.push('"');
+                json_escape(out, v);
+                out.push('"');
+            }
+            Value::B(v) => {
+                let _ = write!(out, "{v}");
+            }
+        }
+    }
+}
+
+impl Snapshot {
+    /// Serialize as JSONL: one `meta` line, one line per span, one per
+    /// counter, one per event.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"meta\",\"obskit\":\"{}\",\"dropped_events\":{}}}",
+            env!("CARGO_PKG_VERSION"),
+            self.dropped_events
+        );
+        for (path, s) in &self.spans {
+            let mut line = String::from("{\"type\":\"span\",\"path\":\"");
+            json_escape(&mut line, path);
+            let _ = write!(line, "\",\"ns\":{},\"calls\":{},\"secs\":", s.ns, s.calls);
+            json_f64(&mut line, s.ns as f64 * 1e-9);
+            line.push('}');
+            let _ = writeln!(out, "{line}");
+        }
+        for (slot, name) in CTR_NAMES.iter().enumerate() {
+            if self.counters[slot] != 0 {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"counter\",\"name\":\"{name}\",\"value\":{}}}",
+                    self.counters[slot]
+                );
+            }
+        }
+        for ev in &self.events {
+            let mut line = String::from("{\"type\":\"event\",\"kind\":\"");
+            json_escape(&mut line, ev.kind);
+            line.push_str("\",\"ts\":");
+            json_f64(&mut line, ev.ts);
+            for (name, val) in &ev.fields {
+                line.push_str(",\"");
+                json_escape(&mut line, name);
+                line.push_str("\":");
+                val.write_json(&mut line);
+            }
+            line.push('}');
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+
+    /// Write the JSONL serialization to `path` (truncating).
+    pub fn write_jsonl(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Human-readable summary: a span tree with times, then counters.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        if self.spans.is_empty() && self.counters.iter().all(|&c| c == 0) {
+            out.push_str("obskit: nothing recorded\n");
+            return out;
+        }
+        let _ = writeln!(out, "── telemetry ───────────────────────────────");
+        let width = self
+            .spans
+            .iter()
+            .map(|(p, _)| p.len() + 2 * p.matches('/').count())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        for (path, s) in &self.spans {
+            let depth = path.matches('/').count();
+            let name = format!("{}{}", "  ".repeat(depth), path);
+            let _ = writeln!(
+                out,
+                "{name:<width$}  {:>12.6} s  ×{}",
+                s.ns as f64 * 1e-9,
+                s.calls
+            );
+        }
+        for (slot, name) in CTR_NAMES.iter().enumerate() {
+            if self.counters[slot] != 0 {
+                let _ = writeln!(out, "{name:<width$}  {:>12}", self.counters[slot]);
+            }
+        }
+        if self.dropped_events > 0 {
+            let _ = writeln!(out, "(events dropped: {})", self.dropped_events);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so the tests below serialize on a lock
+    // to avoid cross-test interference.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static L: Mutex<()> = Mutex::new(());
+        L.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn counters_and_spans_round_trip() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        add(Ctr::Samples, 10);
+        add(Ctr::Samples, 5);
+        add(Ctr::Seeks, 3);
+        span_add_ns("a/b", 1_000);
+        span_add_ns("a/b", 2_000);
+        span_add_ns("a", 5_000);
+        let s = snapshot();
+        assert_eq!(s.counters[Ctr::Samples as usize], 15);
+        assert_eq!(s.counters[Ctr::Seeks as usize], 3);
+        let ab = s.spans.iter().find(|(p, _)| p == "a/b").unwrap();
+        assert_eq!(
+            ab.1,
+            SpanStat {
+                ns: 3_000,
+                calls: 2
+            }
+        );
+        reset();
+        assert_eq!(snapshot().counters[Ctr::Samples as usize], 0);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        set_enabled(false);
+        add(Ctr::Flops, 100);
+        span_add_ns("x", 1);
+        event("e", vec![("a", Value::U(1))]);
+        {
+            let _s = span("x/guard");
+        }
+        set_enabled(true);
+        let s = snapshot();
+        assert_eq!(s.counters[Ctr::Flops as usize], 0);
+        assert!(s.spans.is_empty());
+        assert!(s.events.is_empty());
+    }
+
+    #[test]
+    fn span_guard_accumulates_time() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        {
+            let _s = span("t/sleepy");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let s = snapshot();
+        let (_, stat) = s.spans.iter().find(|(p, _)| p == "t/sleepy").unwrap();
+        assert!(stat.ns >= 1_000_000, "slept 2ms but recorded {}ns", stat.ns);
+        assert_eq!(stat.calls, 1);
+    }
+
+    #[test]
+    fn worker_threads_merge_at_join() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    add(Ctr::Samples, 100);
+                    span_add_ns("par/task", 10);
+                    flush_thread();
+                });
+            }
+        });
+        let s = snapshot();
+        assert_eq!(s.counters[Ctr::Samples as usize], 400);
+        assert_eq!(
+            s.spans.iter().find(|(p, _)| p == "par/task").unwrap().1,
+            SpanStat { ns: 40, calls: 4 }
+        );
+    }
+
+    #[test]
+    fn local_spans_view_and_publish() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        let mut l = LocalSpans::new();
+        l.add_ns("k/sample", 2_000_000_000);
+        l.add_ns("k/sample", 1_000_000_000);
+        l.count(Ctr::Seeks, 7);
+        assert!((l.secs("k/sample") - 3.0).abs() < 1e-12);
+        assert_eq!(l.secs("missing"), 0.0);
+        assert_eq!(l.counter(Ctr::Seeks), 7);
+        l.publish();
+        let s = snapshot();
+        assert_eq!(s.counters[Ctr::Seeks as usize], 7);
+        assert_eq!(
+            s.spans
+                .iter()
+                .find(|(p, _)| p == "k/sample")
+                .unwrap()
+                .1
+                .calls,
+            2
+        );
+        // Publishing while disabled leaves the registry untouched.
+        reset();
+        set_enabled(false);
+        l.publish();
+        set_enabled(true);
+        assert_eq!(snapshot().counters[Ctr::Seeks as usize], 0);
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        add(Ctr::Samples, 42);
+        span_add_ns("sketch/alg3", 1_500_000);
+        event(
+            "lsqr_iter",
+            vec![
+                ("iter", Value::U(1)),
+                ("rel_resid", Value::F(0.5)),
+                ("note", Value::S("a \"quoted\" str".into())),
+                ("nan", Value::F(f64::NAN)),
+                ("ok", Value::B(true)),
+                ("delta", Value::I(-3)),
+            ],
+        );
+        let text = snapshot().to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("\"type\":\"meta\""));
+        assert!(text.contains("\"type\":\"span\",\"path\":\"sketch/alg3\",\"ns\":1500000"));
+        assert!(text.contains("\"type\":\"counter\",\"name\":\"samples\",\"value\":42"));
+        assert!(text.contains("\"kind\":\"lsqr_iter\""));
+        assert!(text.contains("\"note\":\"a \\\"quoted\\\" str\""));
+        assert!(text.contains("\"nan\":null"));
+        assert!(text.contains("\"ok\":true"));
+        assert!(text.contains("\"delta\":-3"));
+        // Every line parses as a flat JSON object by eye: starts '{' ends '}'.
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "bad line {l}");
+        }
+    }
+
+    #[test]
+    fn summary_indents_hierarchy() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        span_add_ns("sketch", 10);
+        span_add_ns("sketch/alg3", 10);
+        let txt = snapshot().summary();
+        assert!(txt.contains("sketch"));
+        assert!(txt.contains("  sketch/alg3"));
+        reset();
+        assert!(snapshot().summary().contains("nothing recorded"));
+    }
+
+    #[test]
+    fn event_cap_counts_drops() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        // Don't actually push 1M events; emulate by filling close to cap via
+        // direct registry access is private — so just verify the field is
+        // plumbed through the snapshot.
+        assert_eq!(snapshot().dropped_events, 0);
+    }
+
+    #[test]
+    fn solver_stride_defaults_to_one() {
+        assert!(solver_event_stride() >= 1);
+    }
+}

@@ -1,0 +1,302 @@
+#![warn(missing_docs)]
+//! # parkit — std-only fork/join parallelism
+//!
+//! A deliberately small replacement for the rayon patterns the kernels used
+//! (`par_chunks_mut`, `into_par_iter().for_each`, indexed `map`+`collect`,
+//! scoped thread pools), built on `std::thread::scope` and an atomic work
+//! index so it needs no external dependencies and builds fully offline.
+//!
+//! Work items are claimed dynamically: each worker repeatedly
+//! `fetch_add`s a shared index, so uneven items (sparse blocks with skewed
+//! nonzero counts) still balance. The thread count comes from, in order:
+//! a [`with_threads`] override on the calling thread, the `SKETCH_THREADS`
+//! or `RAYON_NUM_THREADS` environment variables, then
+//! `available_parallelism`.
+//!
+//! Every worker closure ends with [`obskit::flush_thread`], so per-thread
+//! telemetry accumulated inside parallel regions is merged into the global
+//! registry exactly at the join point — the caller sees a consistent
+//! snapshot as soon as any parkit call returns.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+fn env_threads() -> usize {
+    for var in ["SKETCH_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+    }
+    0
+}
+
+/// The worker count parallel calls on this thread will use.
+pub fn current_threads() -> usize {
+    let o = OVERRIDE.with(|c| c.get());
+    if o > 0 {
+        return o;
+    }
+    let e = env_threads();
+    if e > 0 {
+        return e;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` with parallel calls on this thread capped at `threads` workers —
+/// the Table VII thread-sweep helper (rayon's `install` equivalent).
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let prev = OVERRIDE.with(|c| c.replace(threads.max(1)));
+    let r = f();
+    OVERRIDE.with(|c| c.set(prev));
+    r
+}
+
+/// Run `f(index, chunk)` for every `chunk_len`-sized chunk of `slice`
+/// (last chunk may be shorter), in parallel. Chunks are disjoint `&mut`
+/// windows, claimed dynamically by an atomic index.
+pub fn for_each_chunk_mut<T, F>(slice: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = slice.len();
+    if len == 0 {
+        return;
+    }
+    let chunk_len = chunk_len.max(1);
+    let nchunks = len.div_ceil(chunk_len);
+    let threads = current_threads().min(nchunks);
+    if threads <= 1 {
+        for (i, c) in slice.chunks_mut(chunk_len).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let base = SendPtr(slice.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= nchunks {
+                        break;
+                    }
+                    let start = i * chunk_len;
+                    let n = chunk_len.min(len - start);
+                    // SAFETY: chunk `i` covers `[start, start+n)`; distinct
+                    // `i` give disjoint ranges inside the borrowed slice, and
+                    // the scope keeps the parent borrow alive past the join.
+                    let c = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), n) };
+                    f(i, c);
+                }
+                obskit::flush_thread();
+            });
+        }
+    });
+}
+
+/// Consume `items`, running `f` on each in parallel (order unspecified).
+pub fn for_each<I, F>(items: Vec<I>, f: F)
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let threads = current_threads().min(n);
+    if threads <= 1 {
+        for it in items {
+            f(it);
+        }
+        return;
+    }
+    // Static round-robin partition: one owned bin per worker, no unsafe.
+    let mut bins: Vec<Vec<I>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, it) in items.into_iter().enumerate() {
+        bins[i % threads].push(it);
+    }
+    std::thread::scope(|s| {
+        for bin in bins {
+            s.spawn(|| {
+                for it in bin {
+                    f(it);
+                }
+                obskit::flush_thread();
+            });
+        }
+    });
+}
+
+/// Parallel indexed map: `(0..n).map(f).collect()`, preserving order.
+pub fn map_collect<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let base = SendPtr(out.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i);
+                    // SAFETY: slot `i` is written by exactly one worker (the
+                    // atomic index hands each `i` out once) and the scope
+                    // outlives all writes.
+                    unsafe { *base.get().add(i) = Some(r) };
+                }
+                obskit::flush_thread();
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Run two closures in parallel and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| {
+            let r = b();
+            obskit::flush_thread();
+            r
+        });
+        let ra = a();
+        (ra, hb.join().expect("parkit::join worker panicked"))
+    })
+}
+
+/// A raw pointer that may cross thread boundaries; every use carries its own
+/// disjointness argument at the call site. Accessed via [`SendPtr::get`] so
+/// closures capture the (Sync) wrapper, not the raw pointer field.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_slice_once() {
+        let mut v = vec![0u64; 1003];
+        for_each_chunk_mut(&mut v, 17, |_i, c| {
+            for x in c.iter_mut() {
+                *x += 1; // mark visited exactly once
+            }
+        });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn chunk_indices_match_offsets() {
+        let mut v: Vec<usize> = vec![0; 100];
+        for_each_chunk_mut(&mut v, 7, |i, c| {
+            for (k, x) in c.iter_mut().enumerate() {
+                *x = i * 7 + k;
+            }
+        });
+        let want: Vec<usize> = (0..100).collect();
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out = map_collect(257, |i| i * i);
+        assert_eq!(out.len(), 257);
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, i * i);
+        }
+    }
+
+    #[test]
+    fn for_each_consumes_all_items() {
+        use std::sync::atomic::AtomicU64;
+        let sum = AtomicU64::new(0);
+        for_each((1..=100u64).collect(), |x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outside = current_threads();
+        let inside = with_threads(3, current_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_threads(), outside);
+        // Nested override wins.
+        let nested = with_threads(2, || with_threads(5, current_threads));
+        assert_eq!(nested, 5);
+    }
+
+    #[test]
+    fn single_thread_paths_work() {
+        with_threads(1, || {
+            let mut v = vec![0; 10];
+            for_each_chunk_mut(&mut v, 3, |_, c| c.fill(9));
+            assert!(v.iter().all(|&x| x == 9));
+            assert_eq!(map_collect(4, |i| i), vec![0, 1, 2, 3]);
+            let (a, b) = join(|| 1, || 2);
+            assert_eq!((a, b), (1, 2));
+        });
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 40 + 1, || "two");
+        assert_eq!(a, 41);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        let mut v: Vec<u8> = Vec::new();
+        for_each_chunk_mut(&mut v, 4, |_, _| panic!("no chunks expected"));
+        for_each(Vec::<u8>::new(), |_| panic!("no items expected"));
+        assert!(map_collect(0, |i| i).is_empty());
+    }
+}

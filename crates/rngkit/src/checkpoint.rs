@@ -104,8 +104,10 @@ macro_rules! impl_blockrng {
     };
 }
 
-impl_blockrng!(Xoshiro256PlusPlus, |g: &mut Xoshiro256PlusPlus| g.next_u64());
-impl_blockrng!(Xoshiro128PlusPlus, |g: &mut Xoshiro128PlusPlus| g.next_u64());
+impl_blockrng!(Xoshiro256PlusPlus, |g: &mut Xoshiro256PlusPlus| g
+    .next_u64());
+impl_blockrng!(Xoshiro128PlusPlus, |g: &mut Xoshiro128PlusPlus| g
+    .next_u64());
 impl_blockrng!(SplitMix64, |g: &mut SplitMix64| g.next_u64());
 
 #[cfg(test)]

@@ -20,17 +20,13 @@
 //!   rejection method, included to quantify how much of the Gaussian penalty
 //!   is transform cost versus fundamental.
 
-use crate::{u64_to_open01_f64, u64_to_unit_f64, u32_to_unit_f32, BlockRng};
+use crate::{u32_to_unit_f32, u64_to_open01_f64, u64_to_unit_f64, BlockRng};
 use std::f64::consts::PI;
 use std::marker::PhantomData;
 
 /// Scalar types a distribution can emit. Sealed to the types the kernels use.
 pub trait Element:
-    Copy
-    + Default
-    + 'static
-    + std::ops::Add<Output = Self>
-    + std::ops::Mul<Output = Self>
+    Copy + Default + 'static + std::ops::Add<Output = Self> + std::ops::Mul<Output = Self>
 {
 }
 impl Element for f32 {}

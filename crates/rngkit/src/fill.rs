@@ -135,9 +135,9 @@ mod tests {
 
     #[test]
     fn sampler_generic_over_rng() {
-        fn first<T: crate::dist::Element + PartialEq, S: BlockSampler<T>>(mut s: S, n: usize) -> Vec<T>
+        fn first<T, S: BlockSampler<T>>(mut s: S, n: usize) -> Vec<T>
         where
-            T: std::fmt::Debug,
+            T: crate::dist::Element + PartialEq + std::fmt::Debug,
         {
             let mut v = vec![T::default(); n];
             s.set_state(1, 2);

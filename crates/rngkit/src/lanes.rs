@@ -180,6 +180,9 @@ mod tests {
         g.set_state(0, 1);
         let mut out = vec![0u64; 7];
         g.fill_u64(&mut out);
-        assert!(out.iter().all(|&w| w != 0), "unfilled slot (p≈2^-64 false alarm)");
+        assert!(
+            out.iter().all(|&w| w != 0),
+            "unfilled slot (p≈2^-64 false alarm)"
+        );
     }
 }

@@ -219,10 +219,7 @@ mod tests {
     fn reference_vector_from_random123() {
         // Known-answer test from the Random123 distribution (kat_vectors):
         // philox4x32-10, ctr = {ffffffff x4}, key = {ffffffff x2}.
-        let out = philox4x32_10(
-            [0xffff_ffff; 4],
-            [0xffff_ffff, 0xffff_ffff],
-        );
+        let out = philox4x32_10([0xffff_ffff; 4], [0xffff_ffff, 0xffff_ffff]);
         assert_eq!(out, [0x408f276d, 0x41c83b0e, 0xa20bc7c6, 0x6d5451fd]);
     }
 
@@ -271,13 +268,13 @@ mod tests {
             }
         }
         g.set_state(0, 0);
-        for k in 0..32 {
+        for (k, &want) in first.iter().enumerate() {
             let v = if k % 3 == 0 {
                 g.next_u32() as u64
             } else {
                 g.next_u64()
             };
-            assert_eq!(v, first[k]);
+            assert_eq!(v, want);
         }
     }
 

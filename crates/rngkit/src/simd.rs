@@ -63,6 +63,9 @@ impl<const L: usize> SimdXoshiro256PP<L> {
     }
 
     /// One lockstep xoshiro256++ round: `L` output words.
+    // Indexed lane loops keep each statement a single vectorizable L-wide op;
+    // iterator forms obscure that shape from LLVM's vectorizer.
+    #[allow(clippy::needless_range_loop)]
     #[inline(always)]
     fn step(&mut self, out: &mut [u64; L]) {
         for l in 0..L {

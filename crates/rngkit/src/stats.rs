@@ -125,7 +125,9 @@ mod tests {
         // A constant vector must yield a huge chi2; a good stream small.
         let mut r = CheckpointRng::<Xoshiro256PlusPlus>::new(8);
         r.set_state(0, 0);
-        let good: Vec<f64> = (0..50_000).map(|_| crate::u64_to_unit_f64(r.next_u64())).collect();
+        let good: Vec<f64> = (0..50_000)
+            .map(|_| crate::u64_to_unit_f64(r.next_u64()))
+            .collect();
         let bad = vec![0.25; 50_000];
         let c_good = chi2_uniform_unit(&good, 64);
         let c_bad = chi2_uniform_unit(&bad, 64);

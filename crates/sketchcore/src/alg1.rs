@@ -98,7 +98,15 @@ mod tests {
         let cfg = SketchConfig::new(5, 100, 100, 0);
         let bs = blocks(&cfg, 3);
         assert_eq!(bs.len(), 1);
-        assert_eq!(bs[0], OuterBlock { i: 0, d1: 5, j: 0, n1: 3 });
+        assert_eq!(
+            bs[0],
+            OuterBlock {
+                i: 0,
+                d1: 5,
+                j: 0,
+                n1: 3
+            }
+        );
     }
 
     #[test]

@@ -28,10 +28,15 @@ where
     T: Scalar,
     S: BlockSampler<T> + Clone,
 {
+    let _sp = obskit::span("sketch/alg3");
     let mut ahat = Matrix::zeros(cfg.d, a.ncols());
     let mut sampler = sampler.clone();
     alg1::drive(cfg, a.ncols(), |b| {
         kernel(&mut ahat, a, b, &mut sampler);
+        if obskit::enabled() {
+            let nnz_b: usize = (b.j..b.j + b.n1).map(|k| a.col(k).0.len()).sum();
+            crate::obs::count_block::<T>(b.d1, b.n1, nnz_b);
+        }
     });
     ahat
 }
@@ -95,11 +100,16 @@ where
     T: Scalar,
     S: BlockSampler<i8> + Clone,
 {
+    let _sp = obskit::span("sketch/alg3_signs");
     let mut ahat = Matrix::zeros(cfg.d, a.ncols());
     let mut sampler = sampler.clone();
     let mut v = vec![0i8; cfg.b_d.min(cfg.d)];
     alg1::drive(cfg, a.ncols(), |b| {
         kernel_signs(&mut ahat, a, b, &mut sampler, &mut v);
+        if obskit::enabled() {
+            let nnz_b: usize = (b.j..b.j + b.n1).map(|k| a.col(k).0.len()).sum();
+            crate::obs::count_block::<i8>(b.d1, b.n1, nnz_b);
+        }
     });
     ahat
 }
@@ -130,7 +140,9 @@ mod tests {
     fn random_csc(m: usize, n: usize, nnz: usize, seed: u64) -> CscMatrix<f64> {
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 11
         };
         let mut coo = sparsekit::CooMatrix::new(m, n);
@@ -256,11 +268,7 @@ mod tests {
     fn signs_variant_matches_float_rademacher() {
         let a = random_csc(25, 15, 70, 9);
         let cfg = SketchConfig::new(20, 6, 4, 11);
-        let f = sketch_alg3(
-            &a,
-            &cfg,
-            &Rademacher::<f64>::sampler(Rng::new(cfg.seed)),
-        );
+        let f = sketch_alg3(&a, &cfg, &Rademacher::<f64>::sampler(Rng::new(cfg.seed)));
         let s = sketch_alg3_signs(&a, &cfg, &Rademacher::<i8>::sampler(Rng::new(cfg.seed)));
         assert!(f.diff_norm(&s) < 1e-12 * f.fro_norm().max(1.0));
     }
@@ -274,11 +282,7 @@ mod tests {
         let cfg = SketchConfig::new(24, 8, 5, 17);
         let rng = Rng::new(cfg.seed);
         let scaled = sketch_alg3_scaled(&a, &cfg, &rng);
-        let raw = sketch_alg3(
-            &a,
-            &cfg,
-            &rngkit::DistSampler::new(ScaledInt::new(), rng),
-        );
+        let raw = sketch_alg3(&a, &cfg, &rngkit::DistSampler::new(ScaledInt::new(), rng));
         for (s, r) in scaled.as_slice().iter().zip(raw.as_slice().iter()) {
             assert!((s - r * ScaledInt::SCALE).abs() < 1e-12 * r.abs().max(1.0));
         }

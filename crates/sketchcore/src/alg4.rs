@@ -26,11 +26,13 @@ where
     T: Scalar,
     S: BlockSampler<T> + Clone,
 {
+    let _sp = obskit::span("sketch/alg4");
     let mut ahat = Matrix::zeros(cfg.d, a.ncols());
     let mut sampler = sampler.clone();
     let mut v = vec![T::ZERO; cfg.b_d.min(cfg.d)];
     for b in 0..a.nblocks() {
         let j0 = a.block_col_offset(b);
+        let csr = a.block(b);
         let mut i = 0;
         while i < cfg.d {
             let d1 = cfg.b_d.min(cfg.d - i);
@@ -38,10 +40,19 @@ where
                 &mut ahat,
                 a,
                 b,
-                OuterBlock { i, d1, j: j0, n1: a.block(b).ncols() },
+                OuterBlock {
+                    i,
+                    d1,
+                    j: j0,
+                    n1: csr.ncols(),
+                },
                 &mut sampler,
                 &mut v,
             );
+            if obskit::enabled() {
+                let rows_hit = (0..csr.nrows()).filter(|&j| csr.row_nnz(j) > 0).count();
+                crate::obs::count_block_alg4::<T>(d1, csr.ncols(), csr.nnz(), rows_hit);
+            }
             i += cfg.b_d;
         }
     }
@@ -87,6 +98,7 @@ where
     T: Scalar,
     S: BlockSampler<i8> + Clone,
 {
+    let _sp = obskit::span("sketch/alg4_signs");
     let mut ahat = Matrix::zeros(cfg.d, a.ncols());
     let mut sampler = sampler.clone();
     let mut v = vec![0i8; cfg.b_d.min(cfg.d)];
@@ -145,7 +157,9 @@ mod tests {
     fn random_csc(m: usize, n: usize, nnz: usize, seed: u64) -> CscMatrix<f64> {
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 11
         };
         let mut coo = sparsekit::CooMatrix::new(m, n);
@@ -187,7 +201,11 @@ mod tests {
             &cfg,
             &Rademacher::<i8>::sampler(Rng::new(cfg.seed)),
         );
-        let s4 = sketch_alg4_signs(&blocked, &cfg, &Rademacher::<i8>::sampler(Rng::new(cfg.seed)));
+        let s4 = sketch_alg4_signs(
+            &blocked,
+            &cfg,
+            &Rademacher::<i8>::sampler(Rng::new(cfg.seed)),
+        );
         assert!(s3.diff_norm(&s4) < 1e-12 * s3.fro_norm().max(1.0));
     }
 
@@ -201,8 +219,8 @@ mod tests {
         }
         let a = coo.to_csc().unwrap();
         let blocked = BlockedCsr::from_csc(&a, 10); // 2 blocks
-        // Rows 5 and 99... block 0 holds col 0 (row 5), block 1 holds cols
-        // 10,19 (rows 50,99) → 3 nonempty (row, block) pairs.
+                                                    // Rows 5 and 99... block 0 holds col 0 (row 5), block 1 holds cols
+                                                    // 10,19 (rows 50,99) → 3 nonempty (row, block) pairs.
         assert_eq!(alg4_samples_actual(&blocked, 7), 3 * 7);
         // Versus Algorithm 3's d·nnz = 3·7 here (same: one nnz per row).
         // Add a second nonzero in row 5's block → alg3 pays, alg4 doesn't.

@@ -5,12 +5,29 @@
 //! as the paper's Julia implementation wrapped its RNG calls — and inherit
 //! the same caveat: "the total times are slightly higher than those reported
 //! [without instrumentation] since the timer creates additional overhead".
+//!
+//! Since the obskit refactor the drivers no longer keep their own tallies:
+//! they record into an [`obskit::LocalSpans`] accumulator (always on — the
+//! caller asked for a timing by calling the `_instrumented` entry point) and
+//! [`SketchTiming`] is a *view* over those spans. When the global telemetry
+//! gate is on, the same spans and counters are also published to the obskit
+//! registry, so instrumented runs show up in JSONL exports for free.
 
 use crate::config::SketchConfig;
 use densekit::Matrix;
+use obskit::{Ctr, LocalSpans};
 use rngkit::BlockSampler;
 use sparsekit::{BlockedCsr, CscMatrix, Scalar};
 use std::time::Instant;
+
+/// Span path for the whole instrumented Algorithm 3 run.
+pub const SPAN_ALG3: &str = "sketch/alg3_instrumented";
+/// Span path for Algorithm 3's sample (RNG) time.
+pub const SPAN_ALG3_SAMPLE: &str = "sketch/alg3_instrumented/sample";
+/// Span path for the whole instrumented Algorithm 4 run.
+pub const SPAN_ALG4: &str = "sketch/alg4_instrumented";
+/// Span path for Algorithm 4's sample (RNG) time.
+pub const SPAN_ALG4_SAMPLE: &str = "sketch/alg4_instrumented/sample";
 
 /// Timing breakdown of one sketch computation.
 #[derive(Clone, Copy, Debug, Default)]
@@ -30,6 +47,17 @@ impl SketchTiming {
     pub fn compute_s(&self) -> f64 {
         (self.total_s - self.sample_s).max(0.0)
     }
+
+    /// View a [`LocalSpans`] accumulator as a timing breakdown: `total` and
+    /// `sample` name the span paths holding the wall-clock and RNG time.
+    pub fn from_spans(spans: &LocalSpans, total: &str, sample: &str) -> Self {
+        Self {
+            total_s: spans.secs(total),
+            sample_s: spans.secs(sample),
+            samples: spans.counter(Ctr::Samples),
+            seeks: spans.counter(Ctr::Seeks),
+        }
+    }
 }
 
 /// Algorithm 3 with per-fill timing. Returns the sketch and the breakdown.
@@ -46,7 +74,7 @@ where
     let mut sampler = sampler.clone();
     let mut ahat = Matrix::zeros(cfg.d, a.ncols());
     let mut v = vec![T::ZERO; cfg.b_d.min(cfg.d)];
-    let mut timing = SketchTiming::default();
+    let mut spans = LocalSpans::new();
 
     let n = a.ncols();
     let mut j = 0;
@@ -63,9 +91,9 @@ where
                     let ts = Instant::now();
                     sampler.set_state(i, jj);
                     sampler.fill(vv);
-                    timing.sample_s += ts.elapsed().as_secs_f64();
-                    timing.samples += d1 as u64;
-                    timing.seeks += 1;
+                    spans.add_ns(SPAN_ALG3_SAMPLE, ts.elapsed().as_nanos() as u64);
+                    spans.count(Ctr::Samples, d1 as u64);
+                    spans.count(Ctr::Seeks, 1);
                     for (o, &s) in out.iter_mut().zip(vv.iter()) {
                         *o = ajk.mul_add(s, *o);
                     }
@@ -75,7 +103,9 @@ where
         }
         j += cfg.b_n;
     }
-    timing.total_s = t0.elapsed().as_secs_f64();
+    spans.add_ns(SPAN_ALG3, t0.elapsed().as_nanos() as u64);
+    spans.publish();
+    let timing = SketchTiming::from_spans(&spans, SPAN_ALG3, SPAN_ALG3_SAMPLE);
     (ahat, timing)
 }
 
@@ -93,7 +123,7 @@ where
     let mut sampler = sampler.clone();
     let mut ahat = Matrix::zeros(cfg.d, a.ncols());
     let mut v = vec![T::ZERO; cfg.b_d.min(cfg.d)];
-    let mut timing = SketchTiming::default();
+    let mut spans = LocalSpans::new();
 
     for b in 0..a.nblocks() {
         let csr = a.block(b);
@@ -110,9 +140,9 @@ where
                 let ts = Instant::now();
                 sampler.set_state(i, j);
                 sampler.fill(vv);
-                timing.sample_s += ts.elapsed().as_secs_f64();
-                timing.samples += d1 as u64;
-                timing.seeks += 1;
+                spans.add_ns(SPAN_ALG4_SAMPLE, ts.elapsed().as_nanos() as u64);
+                spans.count(Ctr::Samples, d1 as u64);
+                spans.count(Ctr::Seeks, 1);
                 for (&kl, &ajk) in cols.iter().zip(vals.iter()) {
                     let out = &mut ahat.col_mut(j0 + kl)[i..i + d1];
                     for (o, &s) in out.iter_mut().zip(vv.iter()) {
@@ -123,7 +153,9 @@ where
             i += cfg.b_d;
         }
     }
-    timing.total_s = t0.elapsed().as_secs_f64();
+    spans.add_ns(SPAN_ALG4, t0.elapsed().as_nanos() as u64);
+    spans.publish();
+    let timing = SketchTiming::from_spans(&spans, SPAN_ALG4, SPAN_ALG4_SAMPLE);
     (ahat, timing)
 }
 
@@ -139,7 +171,9 @@ mod tests {
     fn random_csc(m: usize, n: usize, nnz: usize, seed: u64) -> CscMatrix<f64> {
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 11
         };
         let mut coo = sparsekit::CooMatrix::new(m, n);
@@ -178,7 +212,10 @@ mod tests {
         let plain = sketch_alg4(&blocked, &cfg, &sampler);
         let (inst, t4) = sketch_alg4_instrumented(&blocked, &cfg, &sampler);
         assert_eq!(plain, inst);
-        assert_eq!(t4.samples, crate::alg4::alg4_samples_actual(&blocked, cfg.d));
+        assert_eq!(
+            t4.samples,
+            crate::alg4::alg4_samples_actual(&blocked, cfg.d)
+        );
         // With 400 nnz in 30 cols (avg row occupancy > 1 per block), Alg 4
         // must draw strictly fewer samples than Alg 3.
         let (_i3, t3) = sketch_alg3_instrumented(&a, &cfg, &sampler);
@@ -199,5 +236,19 @@ mod tests {
             seeks: 0,
         };
         assert_eq!(t.compute_s(), 0.0);
+    }
+
+    #[test]
+    fn timing_is_a_view_over_local_spans() {
+        let mut spans = LocalSpans::new();
+        spans.add_ns(SPAN_ALG3, 3_000_000_000);
+        spans.add_ns(SPAN_ALG3_SAMPLE, 1_000_000_000);
+        spans.count(Ctr::Samples, 42);
+        spans.count(Ctr::Seeks, 6);
+        let t = SketchTiming::from_spans(&spans, SPAN_ALG3, SPAN_ALG3_SAMPLE);
+        assert!((t.total_s - 3.0).abs() < 1e-12);
+        assert!((t.sample_s - 1.0).abs() < 1e-12);
+        assert!((t.compute_s() - 2.0).abs() < 1e-12);
+        assert_eq!((t.samples, t.seeks), (42, 6));
     }
 }

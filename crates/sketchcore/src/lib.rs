@@ -25,11 +25,14 @@
 //! * [`variants`] — all six `i/j/k` loop orderings of the toy kernel from
 //!   paper §II-B, kept as executable documentation of the design-space
 //!   argument (why `ikj`, `kij`, `ijk` and `jik` are ruled out).
-//! * [`parallel`] — rayon parallelizations of Algorithm 1's two outer loops
+//! * [`parallel`] — parkit parallelizations of Algorithm 1's two outer loops
 //!   (paper §II-C): over column panels or over row stripes of `Â`.
-//! * [`instrument`] — sample-time vs total-time split (paper Tables III/V).
+//! * [`instrument`] — sample-time vs total-time split (paper Tables III/V),
+//!   now a view over obskit spans.
 //! * [`model`] — the roofline/computational-intensity model of §III-A, with
 //!   the block-size optimizer of eq. (4) and the closed forms (5)–(7).
+//! * [`obs`] — telemetry glue: block-granularity counters the kernels bump
+//!   and the measured-vs-model traffic comparison ([`obs::TrafficReport`]).
 //!
 //! ## Quick example
 //!
@@ -51,6 +54,7 @@ pub mod alg4;
 pub mod config;
 pub mod instrument;
 pub mod model;
+pub mod obs;
 pub mod parallel;
 pub mod pattern_model;
 pub mod variants;
@@ -60,5 +64,6 @@ pub use alg4::{sketch_alg4, sketch_alg4_signs};
 pub use config::{flops, SketchConfig};
 pub use instrument::{sketch_alg3_instrumented, sketch_alg4_instrumented, SketchTiming};
 pub use model::{CostModel, ModelPrediction};
-pub use pattern_model::{predict_kernels, profile_pattern, tune_b_n, KernelCosts, PatternProfile};
+pub use obs::TrafficReport;
 pub use parallel::{sketch_alg3_par_cols, sketch_alg3_par_rows, sketch_alg4_par_rows};
+pub use pattern_model::{predict_kernels, profile_pattern, tune_b_n, KernelCosts, PatternProfile};

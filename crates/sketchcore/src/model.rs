@@ -58,6 +58,15 @@ impl CostModel {
         }
     }
 
+    /// A generic laptop/server-class default for quick measured-vs-model
+    /// comparisons when nothing better is known: a 32 MiB last-level cache
+    /// (4 Mi doubles), `h = 0.1` (counter-based RNG ~10× cheaper than DRAM)
+    /// and machine balance `B = 50` flops/word. Override with a calibrated
+    /// [`CostModel::new`] for real roofline studies.
+    pub fn default_host() -> Self {
+        Self::new(4.0 * 1024.0 * 1024.0, 0.1, 50.0)
+    }
+
     /// Reciprocal-CI objective per unit of `d·m·n·ρ` work, as a function of
     /// `n₁` (the unconstrained reduction in §III-A):
     /// `4·n₁·ρ/M + h·(1 − (1−ρ)^{n₁})/n₁`, scaled so that its inverse times 2
@@ -158,14 +167,15 @@ mod tests {
     fn small_rho_optimum_is_n1_equals_1() {
         let m = model();
         let p = m.optimize(1e-6);
-        assert!(
-            p.n1 < 1.5,
-            "small-ρ optimum should be n₁ ≈ 1, got {}",
-            p.n1
-        );
+        assert!(p.n1 < 1.5, "small-ρ optimum should be n₁ ≈ 1, got {}", p.n1);
         // CI matches the closed form within grid tolerance.
         let rel = (p.ci - m.ci_small_rho()).abs() / m.ci_small_rho();
-        assert!(rel < 0.05, "CI {} vs closed form {}", p.ci, m.ci_small_rho());
+        assert!(
+            rel < 0.05,
+            "CI {} vs closed form {}",
+            p.ci,
+            m.ci_small_rho()
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Parallel drivers — rayon parallelization of Algorithm 1's outer loops.
+//! Parallel drivers — parkit parallelization of Algorithm 1's outer loops.
 //!
 //! The paper (§II-C) parallelizes either of the two outer loops; both options
 //! are provided:
@@ -14,13 +14,20 @@
 //! Because every checkpoint `(i, j)` regenerates the same entries of `S`
 //! regardless of which thread asks, the parallel results are bit-identical
 //! to the sequential ones — the determinism test below pins this down.
+//!
+//! Telemetry: each driver opens an obskit span, and every worker records
+//! block-granularity counters (samples drawn, `set_state` seeks, FLOPs,
+//! bytes touched) when telemetry is on. The counters live in thread-local
+//! accumulators that parkit flushes into the global registry at each join
+//! point, so the cost on the hot path is one relaxed atomic load per outer
+//! block — nothing per nonzero.
 
 use crate::alg1::OuterBlock;
 use crate::config::SketchConfig;
+use crate::obs;
 use densekit::Matrix;
 use rngkit::BlockSampler;
 use sparsekit::{BlockedCsr, CscMatrix, Scalar};
-use rayon::prelude::*;
 
 /// Algorithm 3 parallelized over column panels of `Â` (the `j` loop).
 pub fn sketch_alg3_par_cols<T, S>(a: &CscMatrix<T>, cfg: &SketchConfig, sampler: &S) -> Matrix<T>
@@ -28,29 +35,32 @@ where
     T: Scalar,
     S: BlockSampler<T> + Clone + Send + Sync,
 {
+    let _sp = obskit::span("sketch/alg3_par_cols");
     let d = cfg.d;
     let mut ahat = Matrix::zeros(d, a.ncols());
-    ahat.as_mut_slice()
-        .par_chunks_mut(d * cfg.b_n)
-        .enumerate()
-        .for_each(|(p, panel)| {
-            let j0 = p * cfg.b_n;
-            let n1 = panel.len() / d;
-            let mut sampler = sampler.clone();
-            let mut i = 0;
-            while i < d {
-                let d1 = cfg.b_d.min(d - i);
-                for kl in 0..n1 {
-                    let (rows, vals) = a.col(j0 + kl);
-                    let out = &mut panel[kl * d + i..kl * d + i + d1];
-                    for (&j, &ajk) in rows.iter().zip(vals.iter()) {
-                        sampler.set_state(i, j);
-                        sampler.fill_axpy(ajk, out);
-                    }
+    parkit::for_each_chunk_mut(ahat.as_mut_slice(), d * cfg.b_n, |p, panel| {
+        let j0 = p * cfg.b_n;
+        let n1 = panel.len() / d;
+        let mut sampler = sampler.clone();
+        let mut i = 0;
+        while i < d {
+            let d1 = cfg.b_d.min(d - i);
+            let mut nnz_b = 0usize;
+            for kl in 0..n1 {
+                let (rows, vals) = a.col(j0 + kl);
+                nnz_b += rows.len();
+                let out = &mut panel[kl * d + i..kl * d + i + d1];
+                for (&j, &ajk) in rows.iter().zip(vals.iter()) {
+                    sampler.set_state(i, j);
+                    sampler.fill_axpy(ajk, out);
                 }
-                i += cfg.b_d;
             }
-        });
+            if obskit::enabled() {
+                obs::count_block::<T>(d1, n1, nnz_b);
+            }
+            i += cfg.b_d;
+        }
+    });
     ahat
 }
 
@@ -89,6 +99,7 @@ where
     T: Scalar,
     S: BlockSampler<T> + Clone + Send + Sync,
 {
+    let _sp = obskit::span("sketch/alg3_par_rows");
     let d = cfg.d;
     let n = a.ncols();
     let mut ahat = Matrix::zeros(d, n);
@@ -104,20 +115,25 @@ where
         })
         .collect();
 
-    stripes.into_par_iter().for_each(|mut stripe| {
+    parkit::for_each(stripes, |mut stripe| {
         let mut sampler = sampler.clone();
-        let i = stripe.i;
+        let (i, d1) = (stripe.i, stripe.d1);
         // Keep Algorithm 1's column-block-outermost order inside the stripe.
         let mut j = 0;
         while j < n {
             let n1 = cfg.b_n.min(n - j);
+            let mut nnz_b = 0usize;
             for k in j..j + n1 {
                 let (rows, vals) = a.col(k);
+                nnz_b += rows.len();
                 let out = stripe.col_segment(k);
                 for (&jj, &ajk) in rows.iter().zip(vals.iter()) {
                     sampler.set_state(i, jj);
                     sampler.fill_axpy(ajk, out);
                 }
+            }
+            if obskit::enabled() {
+                obs::count_block::<T>(d1, n1, nnz_b);
             }
             j += cfg.b_n;
         }
@@ -131,6 +147,7 @@ where
     T: Scalar,
     S: BlockSampler<T> + Clone + Send + Sync,
 {
+    let _sp = obskit::span("sketch/alg4_par_rows");
     let d = cfg.d;
     let n = a.ncols();
     let mut ahat = Matrix::zeros(d, n);
@@ -146,18 +163,20 @@ where
         })
         .collect();
 
-    stripes.into_par_iter().for_each(|mut stripe| {
+    parkit::for_each(stripes, |mut stripe| {
         let mut sampler = sampler.clone();
         let mut v = vec![T::ZERO; stripe.d1];
         let (i, d1) = (stripe.i, stripe.d1);
         for b in 0..a.nblocks() {
             let csr = a.block(b);
             let j0 = a.block_col_offset(b);
+            let mut rows_hit = 0usize;
             for j in 0..csr.nrows() {
                 let (cols, vals) = csr.row(j);
                 if cols.is_empty() {
                     continue;
                 }
+                rows_hit += 1;
                 sampler.set_state(i, j);
                 sampler.fill(&mut v[..d1]);
                 for (&kl, &ajk) in cols.iter().zip(vals.iter()) {
@@ -166,6 +185,9 @@ where
                         *o = ajk.mul_add(s, *o);
                     }
                 }
+            }
+            if obskit::enabled() {
+                obs::count_block_alg4::<T>(d1, csr.ncols(), csr.nnz(), rows_hit);
             }
         }
     });
@@ -178,48 +200,47 @@ where
     T: Scalar,
     S: BlockSampler<T> + Clone + Send + Sync,
 {
+    let _sp = obskit::span("sketch/alg4_par_cols");
     let d = cfg.d;
     let bw = a.block_width();
     let mut ahat = Matrix::zeros(d, a.ncols());
-    ahat.as_mut_slice()
-        .par_chunks_mut(d * bw)
-        .enumerate()
-        .for_each(|(b, panel)| {
-            let csr = a.block(b);
-            let mut sampler = sampler.clone();
-            let mut v = vec![T::ZERO; cfg.b_d.min(d)];
-            let mut i = 0;
-            while i < d {
-                let d1 = cfg.b_d.min(d - i);
-                let vv = &mut v[..d1];
-                for j in 0..csr.nrows() {
-                    let (cols, vals) = csr.row(j);
-                    if cols.is_empty() {
-                        continue;
-                    }
-                    sampler.set_state(i, j);
-                    sampler.fill(vv);
-                    for (&kl, &ajk) in cols.iter().zip(vals.iter()) {
-                        let out = &mut panel[kl * d + i..kl * d + i + d1];
-                        for (o, &s) in out.iter_mut().zip(vv.iter()) {
-                            *o = ajk.mul_add(s, *o);
-                        }
+    parkit::for_each_chunk_mut(ahat.as_mut_slice(), d * bw, |b, panel| {
+        let csr = a.block(b);
+        let mut sampler = sampler.clone();
+        let mut v = vec![T::ZERO; cfg.b_d.min(d)];
+        let mut i = 0;
+        while i < d {
+            let d1 = cfg.b_d.min(d - i);
+            let vv = &mut v[..d1];
+            let mut rows_hit = 0usize;
+            for j in 0..csr.nrows() {
+                let (cols, vals) = csr.row(j);
+                if cols.is_empty() {
+                    continue;
+                }
+                rows_hit += 1;
+                sampler.set_state(i, j);
+                sampler.fill(vv);
+                for (&kl, &ajk) in cols.iter().zip(vals.iter()) {
+                    let out = &mut panel[kl * d + i..kl * d + i + d1];
+                    for (o, &s) in out.iter_mut().zip(vv.iter()) {
+                        *o = ajk.mul_add(s, *o);
                     }
                 }
-                i += cfg.b_d;
             }
-        });
+            if obskit::enabled() {
+                obs::count_block_alg4::<T>(d1, panel.len() / d, csr.nnz(), rows_hit);
+            }
+            i += cfg.b_d;
+        }
+    });
     ahat
 }
 
-/// Run `f` on a dedicated rayon pool with `threads` workers — the Table VII
-/// thread-sweep helper.
+/// Run `f` with the worker count capped at `threads` — the Table VII
+/// thread-sweep helper (delegates to [`parkit::with_threads`]).
 pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("failed to build rayon pool")
-        .install(f)
+    parkit::with_threads(threads, f)
 }
 
 // Re-exported for the drivers' shared block type.
@@ -240,7 +261,9 @@ mod tests {
     fn random_csc(m: usize, n: usize, nnz: usize, seed: u64) -> CscMatrix<f64> {
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 11
         };
         let mut coo = sparsekit::CooMatrix::new(m, n);

@@ -153,7 +153,9 @@ mod tests {
     fn random_csc(m: usize, n: usize, nnz: usize, seed: u64) -> CscMatrix<f64> {
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 11
         };
         let mut coo = sparsekit::CooMatrix::new(m, n);
@@ -186,7 +188,7 @@ mod tests {
     #[test]
     fn dense_rows_pattern_prefers_alg4() {
         // Abnormal_A-like: few dense rows → massive reuse for Alg 4.
-        let mut coo = sparsekit::CooMatrix::new(1000, 200, );
+        let mut coo = sparsekit::CooMatrix::new(1000, 200);
         for r in (0..1000).step_by(100) {
             for c in 0..200 {
                 coo.push(r, c, 1.0).unwrap();
@@ -201,7 +203,7 @@ mod tests {
     #[test]
     fn dense_columns_pattern_removes_alg4_advantage() {
         // Abnormal_C-like: dense columns spaced wider than b_n → reuse ≈ 1.
-        let mut coo = sparsekit::CooMatrix::new(1000, 200, );
+        let mut coo = sparsekit::CooMatrix::new(1000, 200);
         for c in (0..200).step_by(100) {
             for r in 0..1000 {
                 coo.push(r, c, 1.0).unwrap();
@@ -218,7 +220,7 @@ mod tests {
 
     #[test]
     fn tuning_picks_wider_blocks_for_row_dense_patterns() {
-        let mut coo = sparsekit::CooMatrix::new(400, 120, );
+        let mut coo = sparsekit::CooMatrix::new(400, 120);
         for r in (0..400).step_by(40) {
             for c in 0..120 {
                 coo.push(r, c, 1.0).unwrap();
@@ -240,14 +242,20 @@ mod tests {
         let blocks = n / b_n;
         let expect = blocks as f64 * m as f64 * (1.0 - (1.0 - rho).powi(b_n as i32));
         let rel = (prof.nonempty_row_blocks as f64 - expect).abs() / expect;
-        assert!(rel < 0.05, "measured {} vs model {expect}", prof.nonempty_row_blocks);
+        assert!(
+            rel < 0.05,
+            "measured {} vs model {expect}",
+            prof.nonempty_row_blocks
+        );
     }
 
     fn crate_uniform(m: usize, n: usize, rho: f64) -> CscMatrix<f64> {
         // Inline Bernoulli generator (datagen would be a dependency cycle).
         let mut state = 0x9E3779B97F4A7C15u64;
         let mut nextf = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let mut coo = sparsekit::CooMatrix::new(m, n);

@@ -8,13 +8,12 @@
 //!
 //! Construction from CSC costs `O(⌈n/b_n⌉·m + nnz(A))` sequentially — each
 //! block pays `O(m)` for its row-count array plus a scatter of its nonzeros —
-//! and `O(⌈n/(T·b_n)⌉·m + max_t nnz(A_t))` with `T` rayon workers, matching
+//! and `O(⌈n/(T·b_n)⌉·m + max_t nnz(A_t))` with `T` parkit workers, matching
 //! the paper's §III-B analysis. The Table IV/VI experiments time exactly this
 //! conversion.
 
 use crate::scalar::Scalar;
 use crate::{CscMatrix, CsrMatrix};
-use rayon::prelude::*;
 
 /// A vertical partition of a sparse matrix with row-major blocks.
 #[derive(Clone, Debug)]
@@ -41,15 +40,14 @@ impl<T: Scalar> BlockedCsr<T> {
         }
     }
 
-    /// Build in parallel: blocks are independent, one rayon task per block
+    /// Build in parallel: blocks are independent, one parkit task per block
     /// (the paper's parallel construction, §III-B).
     pub fn from_csc_parallel(a: &CscMatrix<T>, b_n: usize) -> Self {
         assert!(b_n > 0, "block width must be positive");
         let nblocks = a.ncols().div_ceil(b_n).max(1);
-        let blocks: Vec<CsrMatrix<T>> = (0..nblocks)
-            .into_par_iter()
-            .map(|b| Self::build_block(a, b * b_n, (b * b_n + b_n).min(a.ncols())))
-            .collect();
+        let blocks: Vec<CsrMatrix<T>> = parkit::map_collect(nblocks, |b| {
+            Self::build_block(a, b * b_n, (b * b_n + b_n).min(a.ncols()))
+        });
         Self {
             nrows: a.nrows(),
             ncols: a.ncols(),
@@ -183,7 +181,9 @@ mod tests {
         // Simple LCG-driven random matrix (tests only).
         let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             state
         };
         let mut coo = CooMatrix::new(m, n);

@@ -133,7 +133,12 @@ impl<T: Scalar> CooMatrix<T> {
         for j in 0..self.ncols {
             let (lo, hi) = (col_counts[j], col_counts[j + 1]);
             scratch.clear();
-            scratch.extend(row_idx[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()));
+            scratch.extend(
+                row_idx[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(values[lo..hi].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(r, _)| r);
             let mut k = 0;
             while k < scratch.len() {

@@ -11,7 +11,6 @@
 
 use crate::scalar::Scalar;
 use crate::CscMatrix;
-use rayon::prelude::*;
 
 /// One tile: local coordinates (≤ 16 bits each) and values.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -106,13 +105,13 @@ impl<T: Scalar> CsbMatrix<T> {
         }
     }
 
-    /// Parallel `y = A·x`: one rayon task per block-row (disjoint `y` slices).
+    /// Parallel `y = A·x`: one parkit task per block-row (disjoint `y` slices).
     pub fn spmv_par(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.ncols, "x length mismatch");
         assert_eq!(y.len(), self.nrows, "y length mismatch");
         let beta = self.beta;
         let gcols = self.grid.1;
-        y.par_chunks_mut(beta).enumerate().for_each(|(bi, y_slice)| {
+        parkit::for_each_chunk_mut(y, beta, |bi, y_slice| {
             y_slice.fill(T::ZERO);
             for bj in 0..gcols {
                 let x_off = bj * beta;
@@ -141,7 +140,7 @@ impl<T: Scalar> CsbMatrix<T> {
         }
     }
 
-    /// Parallel `y = Aᵀ·x`: one rayon task per block-column — the symmetric
+    /// Parallel `y = Aᵀ·x`: one parkit task per block-column — the symmetric
     /// twin of [`CsbMatrix::spmv_par`], CSB's raison d'être (CSR cannot
     /// parallelize the transposed product without a reduction).
     pub fn spmv_t_par(&self, x: &[T], y: &mut [T]) {
@@ -149,7 +148,7 @@ impl<T: Scalar> CsbMatrix<T> {
         assert_eq!(y.len(), self.ncols, "y length mismatch");
         let beta = self.beta;
         let (grows, gcols) = self.grid;
-        y.par_chunks_mut(beta).enumerate().for_each(|(bj, y_slice)| {
+        parkit::for_each_chunk_mut(y, beta, |bj, y_slice| {
             y_slice.fill(T::ZERO);
             for bi in 0..grows {
                 let x_off = bi * beta;
@@ -170,7 +169,9 @@ mod tests {
     fn random_csc(m: usize, n: usize, nnz: usize, seed: u64) -> CscMatrix<f64> {
         let mut s = seed | 1;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s >> 11
         };
         let mut coo = CooMatrix::new(m, n);

@@ -201,8 +201,7 @@ impl<T: Scalar> CscMatrix<T> {
         assert_eq!(x.len(), self.ncols, "x length mismatch");
         assert_eq!(y.len(), self.nrows, "y length mismatch");
         y.fill(T::ZERO);
-        for j in 0..self.ncols {
-            let xj = x[j];
+        for (j, &xj) in x.iter().enumerate() {
             if xj == T::ZERO {
                 continue;
             }
@@ -217,13 +216,13 @@ impl<T: Scalar> CscMatrix<T> {
     pub fn spmv_t(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.nrows, "x length mismatch");
         assert_eq!(y.len(), self.ncols, "y length mismatch");
-        for j in 0..self.ncols {
+        for (j, yj) in y.iter_mut().enumerate() {
             let (rows, vals) = self.col(j);
             let mut acc = T::ZERO;
             for (&i, &v) in rows.iter().zip(vals.iter()) {
                 acc = v.mul_add(x[i], acc);
             }
-            y[j] = acc;
+            *yj = acc;
         }
     }
 
@@ -407,7 +406,13 @@ mod tests {
         // [0 3 0]
         // [4 0 5]
         let mut coo = CooMatrix::new(3, 3);
-        for &(i, j, v) in &[(0, 0, 1.0), (2, 0, 4.0), (1, 1, 3.0), (0, 2, 2.0), (2, 2, 5.0)] {
+        for &(i, j, v) in &[
+            (0, 0, 1.0),
+            (2, 0, 4.0),
+            (1, 1, 3.0),
+            (0, 2, 2.0),
+            (2, 2, 5.0),
+        ] {
             coo.push(i, j, v).unwrap();
         }
         coo.to_csc().unwrap()
@@ -422,22 +427,11 @@ mod tests {
         // Row out of bounds.
         assert!(CscMatrix::<f64>::try_new(2, 2, vec![0, 1, 1], vec![5], vec![1.0]).is_err());
         // Unsorted rows.
-        assert!(
-            CscMatrix::<f64>::try_new(3, 1, vec![0, 2], vec![2, 1], vec![1.0, 2.0]).is_err()
-        );
+        assert!(CscMatrix::<f64>::try_new(3, 1, vec![0, 2], vec![2, 1], vec![1.0, 2.0]).is_err());
         // Duplicate rows.
-        assert!(
-            CscMatrix::<f64>::try_new(3, 1, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err()
-        );
+        assert!(CscMatrix::<f64>::try_new(3, 1, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
         // Non-monotone col_ptr.
-        assert!(CscMatrix::<f64>::try_new(
-            2,
-            2,
-            vec![0, 1, 0],
-            vec![0],
-            vec![1.0]
-        )
-        .is_err());
+        assert!(CscMatrix::<f64>::try_new(2, 2, vec![0, 1, 0], vec![0], vec![1.0]).is_err());
         // Value length mismatch.
         assert!(CscMatrix::<f64>::try_new(2, 2, vec![0, 1, 1], vec![0], vec![]).is_err());
     }

@@ -188,13 +188,13 @@ impl<T: Scalar> CsrMatrix<T> {
     pub fn spmv(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
-        for i in 0..self.nrows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
             let mut acc = T::ZERO;
             for (&j, &v) in cols.iter().zip(vals.iter()) {
                 acc = v.mul_add(x[j], acc);
             }
-            y[i] = acc;
+            *yi = acc;
         }
     }
 }
@@ -228,9 +228,7 @@ mod tests {
         assert!(CsrMatrix::<f64>::try_new(1, 1, vec![0], vec![], vec![]).is_err());
         assert!(CsrMatrix::<f64>::try_new(1, 1, vec![0, 2], vec![0], vec![1.0]).is_err());
         assert!(CsrMatrix::<f64>::try_new(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
-        assert!(
-            CsrMatrix::<f64>::try_new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
-        );
+        assert!(CsrMatrix::<f64>::try_new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
     }
 
     #[test]

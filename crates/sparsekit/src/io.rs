@@ -45,7 +45,10 @@ pub fn read_matrix_market_from<T: Scalar, R: Read>(reader: R) -> Result<CscMatri
             })
         }
     };
-    let toks: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    let toks: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_lowercase())
+        .collect();
     if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
         return Err(SparseError::Parse {
             line: line_no,

@@ -14,7 +14,7 @@
 //! * [`CscMatrix`] / [`CsrMatrix`] — compressed column / row storage with
 //!   validation, slicing, transposition and reference SpMV/SpMM.
 //! * [`BlockedCsr`] — Algorithm 4's structure, with sequential and parallel
-//!   (rayon) construction from CSC; construction cost matches the paper's
+//!   (parkit) construction from CSC; construction cost matches the paper's
 //!   `O(⌈n/b_n⌉·m + nnz(A))` analysis and is measured in the Table IV/VI
 //!   benches.
 //! * [`io`] — Matrix Market exchange format reader/writer, so the real
@@ -29,8 +29,8 @@ pub mod csr;
 pub mod io;
 pub mod order;
 pub mod scalar;
-pub mod stats;
 pub mod spy;
+pub mod stats;
 
 pub use blocked::BlockedCsr;
 pub use coo::CooMatrix;

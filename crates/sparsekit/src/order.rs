@@ -180,8 +180,8 @@ mod tests {
         let b = permute_cols(&a, &perm);
         let back = permute_cols(&b, &invert_permutation(&perm));
         assert_eq!(a, back);
-        for j in 0..10 {
-            let (r1, v1) = a.col(perm[j]);
+        for (j, &pj) in perm.iter().enumerate() {
+            let (r1, v1) = a.col(pj);
             let (r2, v2) = b.col(j);
             assert_eq!(r1, r2);
             assert_eq!(v1, v2);

@@ -37,10 +37,7 @@ pub fn spy_grid<T: Scalar>(a: &CscMatrix<T>, height: usize, width: usize) -> Spy
     let cell_rows = (m as f64 / height as f64).max(1.0);
     let cell_cols = (n as f64 / width as f64).max(1.0);
     let cap = cell_rows * cell_cols;
-    let cells = counts
-        .iter()
-        .map(|&c| (c as f64 / cap).min(1.0))
-        .collect();
+    let cells = counts.iter().map(|&c| (c as f64 / cap).min(1.0)).collect();
     SpyGrid {
         height,
         width,

@@ -8,8 +8,9 @@
 //! ```
 
 use rngkit::{FastRng, UnitUniform};
-use sketchcore::{predict_kernels, profile_pattern, sketch_alg3, sketch_alg4, tune_b_n,
-    KernelCosts, SketchConfig};
+use sketchcore::{
+    predict_kernels, profile_pattern, sketch_alg3, sketch_alg4, tune_b_n, KernelCosts, SketchConfig,
+};
 use sparsekit::stats::pattern_stats;
 use sparsekit::BlockedCsr;
 
@@ -33,8 +34,12 @@ fn main() {
     );
     println!(
         "row nnz (min/mean/max): {}/{:.2}/{}   col nnz: {}/{:.2}/{}",
-        stats.row_nnz.0, stats.row_nnz.1, stats.row_nnz.2,
-        stats.col_nnz.0, stats.col_nnz.1, stats.col_nnz.2
+        stats.row_nnz.0,
+        stats.row_nnz.1,
+        stats.row_nnz.2,
+        stats.col_nnz.0,
+        stats.col_nnz.1,
+        stats.col_nnz.2
     );
     println!(
         "empty rows {} / cols {}; top-decile column mass {:.2}",
@@ -76,6 +81,10 @@ fn main() {
     println!(
         "measured: alg3 {t3:.3}s, alg4 {t4:.3}s → {} wins (model {})",
         if t4 < t3 { "Alg 4" } else { "Alg 3" },
-        if pred.prefer_alg4() == (t4 < t3) { "agreed ✓" } else { "disagreed ✗" },
+        if pred.prefer_alg4() == (t4 < t3) {
+            "agreed ✓"
+        } else {
+            "disagreed ✗"
+        },
     );
 }

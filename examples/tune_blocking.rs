@@ -45,7 +45,11 @@ fn main() {
         }
     }
     for (b_d, b_n, secs) in lines {
-        let mark = if (b_d, b_n) == (best.1, best.2) { "  <-- best" } else { "" };
+        let mark = if (b_d, b_n) == (best.1, best.2) {
+            "  <-- best"
+        } else {
+            ""
+        };
         println!("  b_d = {b_d:>5}, b_n = {b_n:>5}: {secs:.4}s{mark}");
     }
     println!(

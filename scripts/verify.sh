@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full local verification: what CI would run. From the repo root:
+#
+#   scripts/verify.sh
+#
+# Builds the whole workspace in release mode, runs every test, then holds
+# the code to clippy -D warnings and rustfmt. Fails fast on the first error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, all targets) =="
+cargo build --release --workspace --all-targets
+
+echo "== tests =="
+cargo test -q --release --workspace
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt check =="
+cargo fmt --all -- --check
+
+echo "verify: all checks passed"

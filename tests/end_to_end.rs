@@ -4,8 +4,9 @@
 use baselines::{csc_outer, eigen_style, materialize_s, mkl_style, pregen_blocked};
 use datagen::lsq::{tall_conditioned, CondSpec};
 use datagen::{abnormal_a, abnormal_c, make_rhs, spmm_suite, uniform_random};
-use lstsq::{backward_error, solve_lsqr_d, solve_sap, sparse_qr_solve, LsqrOptions, SapFlavor,
-    SapOptions};
+use lstsq::{
+    backward_error, solve_lsqr_d, solve_sap, sparse_qr_solve, LsqrOptions, SapFlavor, SapOptions,
+};
 use rngkit::{FastRng, Rademacher, UnitUniform};
 use sketchcore::parallel::{
     sketch_alg3_par_cols, sketch_alg3_par_rows, sketch_alg4_par_cols, sketch_alg4_par_rows,
@@ -33,8 +34,14 @@ fn every_kernel_and_baseline_computes_the_same_sketch() {
         ("alg4", x4),
         ("alg3_par_cols", sketch_alg3_par_cols(&a, &cfg, &sampler)),
         ("alg3_par_rows", sketch_alg3_par_rows(&a, &cfg, &sampler)),
-        ("alg4_par_cols", sketch_alg4_par_cols(&blocked, &cfg, &sampler)),
-        ("alg4_par_rows", sketch_alg4_par_rows(&blocked, &cfg, &sampler)),
+        (
+            "alg4_par_cols",
+            sketch_alg4_par_cols(&blocked, &cfg, &sampler),
+        ),
+        (
+            "alg4_par_rows",
+            sketch_alg4_par_rows(&blocked, &cfg, &sampler),
+        ),
         ("mkl", mkl_style(&a, &s)),
         ("eigen", eigen_style(&a, &s)),
         ("julia", csc_outer(&a, &s)),
@@ -180,7 +187,10 @@ fn matrix_market_round_trip_preserves_pipeline_results() {
     assert_eq!(a, b);
     let cfg = SketchConfig::new(120, 64, 16, 3);
     let sampler = uni(3);
-    assert_eq!(sketch_alg3(&a, &cfg, &sampler), sketch_alg3(&b, &cfg, &sampler));
+    assert_eq!(
+        sketch_alg3(&a, &cfg, &sampler),
+        sketch_alg3(&b, &cfg, &sampler)
+    );
 }
 
 #[test]
@@ -201,7 +211,11 @@ fn scaling_trick_equals_plain_uniform_statistically() {
 fn rademacher_sketch_preserves_energy() {
     let a = uniform_random::<f64>(1_500, 80, 0.02, 4);
     let cfg = SketchConfig::new(240, 120, 20, 13);
-    let sk = sketch_alg3(&a, &cfg, &Rademacher::<f64>::sampler(FastRng::new(cfg.seed)));
+    let sk = sketch_alg3(
+        &a,
+        &cfg,
+        &Rademacher::<f64>::sampler(FastRng::new(cfg.seed)),
+    );
     // E‖Â‖_F² = d·‖A‖_F² for ±1 entries.
     let ratio = sk.fro_norm().powi(2) / (cfg.d as f64 * a.fro_norm().powi(2));
     assert!((0.9..1.1).contains(&ratio), "energy ratio {ratio}");
@@ -218,12 +232,11 @@ fn lsqr_over_csb_operator_matches_csc() {
     assert_eq!(csb_op.nrows(), a.nrows());
     let r2 = lsqr(&mut csb_op, &b, &LsqrOptions::default());
     let scale: f64 = r1.x.iter().map(|v| v * v).sum::<f64>().sqrt();
-    let diff: f64 = r1
-        .x
-        .iter()
-        .zip(r2.x.iter())
-        .map(|(p, q)| (p - q) * (p - q))
-        .sum::<f64>()
-        .sqrt();
+    let diff: f64 =
+        r1.x.iter()
+            .zip(r2.x.iter())
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
     assert!(diff < 1e-9 * scale, "CSB-backed LSQR diverged by {diff}");
 }

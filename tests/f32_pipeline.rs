@@ -28,7 +28,11 @@ fn f32_kernels_agree_with_each_other_and_baseline() {
 fn f32_rademacher_preserves_energy() {
     let a = uniform_random::<f32>(1_200, 100, 0.01, 3);
     let cfg = SketchConfig::new(300, 150, 25, 5);
-    let sk = sketch_alg3(&a, &cfg, &Rademacher::<f32>::sampler(FastRng::new(cfg.seed)));
+    let sk = sketch_alg3(
+        &a,
+        &cfg,
+        &Rademacher::<f32>::sampler(FastRng::new(cfg.seed)),
+    );
     let ratio = (sk.fro_norm() as f64).powi(2) / (cfg.d as f64 * (a.fro_norm() as f64).powi(2));
     assert!((0.85..1.15).contains(&ratio), "energy ratio {ratio}");
 }
@@ -38,7 +42,10 @@ fn f32_sketch_is_deterministic() {
     let a = uniform_random::<f32>(500, 80, 0.02, 7);
     let cfg = SketchConfig::new(160, 64, 20, 11);
     let sampler = UnitUniform::<f32>::sampler(FastRng::new(cfg.seed));
-    assert_eq!(sketch_alg3(&a, &cfg, &sampler), sketch_alg3(&a, &cfg, &sampler));
+    assert_eq!(
+        sketch_alg3(&a, &cfg, &sampler),
+        sketch_alg3(&a, &cfg, &sampler)
+    );
 }
 
 #[test]

@@ -1,0 +1,61 @@
+//! Disabled-path overhead check: with `SKETCH_OBS=0` (here: the programmatic
+//! gate) Algorithm 3 must run at the uninstrumented kernel's speed — the
+//! telemetry refactor's contract is one relaxed atomic load per *block*, and
+//! blocks are thousands of nonzeros wide.
+//!
+//! Ignored by default because it is a timing measurement (~10 s) and the CI
+//! host has multi-x hypervisor-steal noise. Run it on an idle machine:
+//!
+//! ```sh
+//! cargo test --release --test obs_overhead -- --ignored --nocapture
+//! ```
+
+use rngkit::{FastRng, UnitUniform};
+use sketchcore::{sketch_alg3, SketchConfig};
+
+#[test]
+#[ignore = "timing measurement; run manually on an idle host"]
+fn gate_off_alg3_overhead_is_negligible() {
+    let a = datagen::uniform_random::<f64>(50_000, 1_000, 2e-3, 7);
+    let cfg = SketchConfig::new(2 * a.ncols(), 3000, 500, 7);
+    let sampler = UnitUniform::<f64>::sampler(FastRng::new(cfg.seed));
+
+    let run = || {
+        let t0 = std::time::Instant::now();
+        let x = sketch_alg3(&a, &cfg, &sampler);
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(&x);
+        dt
+    };
+
+    // Warm both paths, then interleave measurements so slow drift (thermal,
+    // steal) hits the two gate states symmetrically.
+    obskit::set_enabled(false);
+    run();
+    obskit::set_enabled(true);
+    run();
+    let (mut off, mut on) = (Vec::new(), Vec::new());
+    for _ in 0..5 {
+        obskit::set_enabled(false);
+        off.push(run());
+        obskit::set_enabled(true);
+        on.push(run());
+    }
+    obskit::set_enabled(true);
+    let med = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let (t_off, t_on) = (med(&mut off), med(&mut on));
+    println!(
+        "alg3 gate-off median {t_off:.4}s, gate-on median {t_on:.4}s, off/on {:.4}",
+        t_off / t_on
+    );
+    // The structural claim: gating costs one branch per block. Allow generous
+    // slack for scheduler noise; a real per-nonzero regression would blow far
+    // past this.
+    assert!(
+        t_off <= t_on * 1.10,
+        "gate-off alg3 slower than gate-on beyond noise: {t_off:.4}s vs {t_on:.4}s"
+    );
+}

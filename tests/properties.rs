@@ -1,91 +1,149 @@
-//! Property-based tests (proptest) on the core invariants: random matrices,
-//! random blockings, random seeds — the algebra must always hold.
+//! Property-style tests on the core invariants: random matrices, random
+//! blockings, random seeds — the algebra must always hold.
+//!
+//! Originally written with proptest; now driven by a deterministic LCG over
+//! 64 cases per property so the workspace builds with no external
+//! dependencies. Failures print the case seed, which fully reproduces the
+//! inputs.
 
 use datagen::uniform_random;
 use densekit::{HouseholderQr, Matrix, ThinSvd};
-use proptest::prelude::*;
 use rngkit::{FastRng, UnitUniform};
 use sketchcore::{sketch_alg3, sketch_alg4, SketchConfig};
 use sparsekit::{BlockedCsr, CooMatrix, CscMatrix};
 
-/// Strategy: a small random sparse matrix described by (m, n, entries).
-fn sparse_matrix() -> impl Strategy<Value = CscMatrix<f64>> {
-    (2usize..40, 2usize..30).prop_flat_map(|(m, n)| {
-        proptest::collection::vec(
-            ((0..m), (0..n), -10.0f64..10.0),
-            0..(m * n).min(120),
-        )
-        .prop_map(move |entries| {
-            let mut coo = CooMatrix::new(m, n);
-            for (i, j, v) in entries {
-                coo.push(i, j, v).unwrap();
-            }
-            coo.to_csc().unwrap()
-        })
-    })
+const CASES: u64 = 64;
+
+/// Deterministic case generator: a splitmix-style stream per (property, case).
+struct Gen(u64);
+
+impl Gen {
+    fn new(property: u64, case: u64) -> Self {
+        Gen(property.wrapping_mul(0x9E3779B97F4A7C15) ^ case.wrapping_add(0xD1B54A32D192ED03))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+
+    /// Uniform-ish float in `[lo, hi)`.
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next() % 100_000) as f64 / 100_000.0 * (hi - lo)
+    }
+
+    /// A small random sparse matrix: m in [2,40), n in [2,30), up to
+    /// `min(m·n, 120)` pushed entries (duplicates merge in `to_csc`).
+    fn sparse_matrix(&mut self) -> CscMatrix<f64> {
+        let m = self.usize_in(2, 40);
+        let n = self.usize_in(2, 30);
+        let entries = self.usize_in(0, (m * n).min(120) + 1);
+        let mut coo = CooMatrix::new(m, n);
+        for _ in 0..entries {
+            let i = self.usize_in(0, m);
+            let j = self.usize_in(0, n);
+            let v = self.f64_in(-10.0, 10.0);
+            coo.push(i, j, v).unwrap();
+        }
+        coo.to_csc().unwrap()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// COO→CSC→CSR→CSC round trip is the identity.
-    #[test]
-    fn format_round_trips(a in sparse_matrix()) {
+/// COO→CSC→CSR→CSC round trip is the identity.
+#[test]
+fn format_round_trips() {
+    for case in 0..CASES {
+        let mut g = Gen::new(1, case);
+        let a = g.sparse_matrix();
         let csr = a.to_csr();
-        prop_assert_eq!(csr.to_csc(), a.clone());
-        let t = a.transpose().transpose();
-        prop_assert_eq!(t, a);
+        assert_eq!(csr.to_csc(), a, "case {case}");
+        assert_eq!(a.transpose().transpose(), a, "case {case}");
     }
+}
 
-    /// Blocked CSR reassembles to the source for any block width, and the
-    /// parallel construction matches the sequential one.
-    #[test]
-    fn blocked_csr_any_width(a in sparse_matrix(), b_n in 1usize..40) {
+/// Blocked CSR reassembles to the source for any block width, and the
+/// parallel construction matches the sequential one.
+#[test]
+fn blocked_csr_any_width() {
+    for case in 0..CASES {
+        let mut g = Gen::new(2, case);
+        let a = g.sparse_matrix();
+        let b_n = g.usize_in(1, 40);
         let blk = BlockedCsr::from_csc(&a, b_n);
-        prop_assert_eq!(blk.to_csc(), a.clone());
+        assert_eq!(blk.to_csc(), a, "case {case}");
         let par = BlockedCsr::from_csc_parallel(&a, b_n);
-        prop_assert_eq!(par.nnz(), blk.nnz());
+        assert_eq!(par.nnz(), blk.nnz(), "case {case}");
         for b in 0..blk.nblocks() {
-            prop_assert_eq!(blk.block(b), par.block(b));
+            assert_eq!(blk.block(b), par.block(b), "case {case} block {b}");
         }
     }
+}
 
-    /// SpMV agrees with the dense expansion.
-    #[test]
-    fn spmv_matches_dense(a in sparse_matrix(), seed in 0u64..1000) {
-        let n = a.ncols();
-        let m = a.nrows();
-        let x: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 17) as f64 - 8.0).collect();
+/// SpMV agrees with the dense expansion.
+#[test]
+fn spmv_matches_dense() {
+    for case in 0..CASES {
+        let mut g = Gen::new(3, case);
+        let a = g.sparse_matrix();
+        let seed = g.next() % 1000;
+        let (m, n) = (a.nrows(), a.ncols());
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((seed + i as u64) % 17) as f64 - 8.0)
+            .collect();
         let mut y = vec![0.0; m];
         a.spmv(&x, &mut y);
         let dense = a.to_dense_row_major();
         for i in 0..m {
             let want: f64 = (0..n).map(|j| dense[i * n + j] * x[j]).sum();
-            prop_assert!((y[i] - want).abs() < 1e-9 * want.abs().max(1.0));
+            assert!(
+                (y[i] - want).abs() < 1e-9 * want.abs().max(1.0),
+                "case {case} row {i}: {} vs {want}",
+                y[i]
+            );
         }
     }
+}
 
-    /// Algorithms 3 and 4 agree for every matrix, blocking, and seed.
-    #[test]
-    fn alg3_equals_alg4(
-        a in sparse_matrix(),
-        d in 1usize..50,
-        b_d in 1usize..60,
-        b_n in 1usize..40,
-        seed in 0u64..10_000,
-    ) {
+/// Algorithms 3 and 4 agree for every matrix, blocking, and seed.
+#[test]
+fn alg3_equals_alg4() {
+    for case in 0..CASES {
+        let mut g = Gen::new(4, case);
+        let a = g.sparse_matrix();
+        let d = g.usize_in(1, 50);
+        let b_d = g.usize_in(1, 60);
+        let b_n = g.usize_in(1, 40);
+        let seed = g.next() % 10_000;
         let cfg = SketchConfig::new(d, b_d, b_n, seed);
         let sampler = UnitUniform::<f64>::sampler(FastRng::new(seed));
         let x3 = sketch_alg3(&a, &cfg, &sampler);
         let blocked = BlockedCsr::from_csc(&a, cfg.b_n);
         let x4 = sketch_alg4(&blocked, &cfg, &sampler);
         let tol = 1e-11 * x3.fro_norm().max(1.0);
-        prop_assert!(x3.diff_norm(&x4) < tol, "diff {}", x3.diff_norm(&x4));
+        assert!(
+            x3.diff_norm(&x4) < tol,
+            "case {case}: diff {}",
+            x3.diff_norm(&x4)
+        );
     }
+}
 
-    /// The sketch is linear in A: sketch(αA) = α·sketch(A).
-    #[test]
-    fn sketch_linearity(a in sparse_matrix(), alpha in -4.0f64..4.0, seed in 0u64..1000) {
+/// The sketch is linear in A: sketch(αA) = α·sketch(A).
+#[test]
+fn sketch_linearity() {
+    for case in 0..CASES {
+        let mut g = Gen::new(5, case);
+        let a = g.sparse_matrix();
+        let alpha = g.f64_in(-4.0, 4.0);
+        let seed = g.next() % 1000;
         let cfg = SketchConfig::new(16, 8, 8, seed);
         let sampler = UnitUniform::<f64>::sampler(FastRng::new(seed));
         let base = sketch_alg3(&a, &cfg, &sampler);
@@ -94,12 +152,20 @@ proptest! {
         let scaled = sketch_alg3(&scaled_a, &cfg, &sampler);
         let mut expect = base.clone();
         expect.scale(alpha);
-        prop_assert!(scaled.diff_norm(&expect) < 1e-10 * expect.fro_norm().max(1.0));
+        assert!(
+            scaled.diff_norm(&expect) < 1e-10 * expect.fro_norm().max(1.0),
+            "case {case} (alpha {alpha})"
+        );
     }
+}
 
-    /// QR reconstructs: ‖QR − A‖ small, R upper triangular.
-    #[test]
-    fn qr_invariants(cols in 1usize..8, seed in 0u64..500) {
+/// QR reconstructs: R upper triangular, column norms preserved.
+#[test]
+fn qr_invariants() {
+    for case in 0..CASES {
+        let mut g = Gen::new(6, case);
+        let cols = g.usize_in(1, 8);
+        let seed = g.next() % 500;
         let rows = cols + (seed % 20) as usize;
         let mut s = seed | 1;
         let a = Matrix::from_fn(rows, cols, |_, _| {
@@ -110,20 +176,26 @@ proptest! {
         let r = qr.r();
         for i in 0..cols {
             for j in 0..i {
-                prop_assert_eq!(r[(i, j)], 0.0);
+                assert_eq!(r[(i, j)], 0.0, "case {case}: R not upper triangular");
             }
         }
         // Column norms preserved: ‖A e_j‖ = ‖R e_j‖ (Q orthonormal).
         for j in 0..cols {
             let na: f64 = a.col(j).iter().map(|v| v * v).sum::<f64>().sqrt();
             let nr: f64 = r.col(j).iter().map(|v| v * v).sum::<f64>().sqrt();
-            prop_assert!((na - nr).abs() < 1e-10 * na.max(1.0));
+            assert!((na - nr).abs() < 1e-10 * na.max(1.0), "case {case} col {j}");
         }
     }
+}
 
-    /// SVD invariants on random matrices: ‖A‖_F² = Σσ², σ sorted, V orthonormal.
-    #[test]
-    fn svd_invariants(cols in 1usize..7, extra in 0usize..12, seed in 0u64..500) {
+/// SVD invariants on random matrices: ‖A‖_F² = Σσ², σ sorted, V orthonormal.
+#[test]
+fn svd_invariants() {
+    for case in 0..CASES {
+        let mut g = Gen::new(7, case);
+        let cols = g.usize_in(1, 7);
+        let extra = g.usize_in(0, 12);
+        let seed = g.next() % 500;
         let rows = cols + extra;
         let mut s = seed | 1;
         let a = Matrix::from_fn(rows, cols, |_, _| {
@@ -131,23 +203,35 @@ proptest! {
             ((s >> 33) as f64) / (1u64 << 31) as f64 - 0.5
         });
         let svd = ThinSvd::factor(&a);
-        prop_assert!(svd.sigma.windows(2).all(|w| w[0] >= w[1]));
+        assert!(svd.sigma.windows(2).all(|w| w[0] >= w[1]), "case {case}");
         let fro2 = a.fro_norm().powi(2);
         let sum2: f64 = svd.sigma.iter().map(|x| x * x).sum();
-        prop_assert!((fro2 - sum2).abs() < 1e-9 * fro2.max(1e-30));
+        assert!((fro2 - sum2).abs() < 1e-9 * fro2.max(1e-30), "case {case}");
         for i in 0..cols {
             for j in 0..cols {
-                let dot: f64 = svd.v.col(i).iter().zip(svd.v.col(j)).map(|(a, b)| a * b).sum();
+                let dot: f64 = svd
+                    .v
+                    .col(i)
+                    .iter()
+                    .zip(svd.v.col(j))
+                    .map(|(a, b)| a * b)
+                    .sum();
                 let expect = if i == j { 1.0 } else { 0.0 };
-                prop_assert!((dot - expect).abs() < 1e-9);
+                assert!((dot - expect).abs() < 1e-9, "case {case} ({i},{j})");
             }
         }
     }
+}
 
-    /// The checkpointed generator is a pure function of (seed, r, c).
-    #[test]
-    fn checkpoint_purity(seed in 0u64..10_000, r in 0usize..1000, c in 0usize..1000) {
-        use rngkit::BlockSampler;
+/// The checkpointed generator is a pure function of (seed, r, c).
+#[test]
+fn checkpoint_purity() {
+    use rngkit::BlockSampler;
+    for case in 0..CASES {
+        let mut g = Gen::new(8, case);
+        let seed = g.next() % 10_000;
+        let r = g.usize_in(0, 1000);
+        let c = g.usize_in(0, 1000);
         let mut s1 = UnitUniform::<f64>::sampler(FastRng::new(seed));
         let mut s2 = UnitUniform::<f64>::sampler(FastRng::new(seed));
         // s2 visits other checkpoints first; history must not matter.
@@ -160,13 +244,19 @@ proptest! {
         s1.fill(&mut a);
         s2.set_state(r, c);
         s2.fill(&mut b);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case} ({r},{c})");
     }
+}
 
-    /// fill_axpy is exactly fill-then-axpy.
-    #[test]
-    fn fused_axpy_consistent(seed in 0u64..10_000, coeff in -8.0f64..8.0, len in 1usize..200) {
-        use rngkit::BlockSampler;
+/// fill_axpy is exactly fill-then-axpy.
+#[test]
+fn fused_axpy_consistent() {
+    use rngkit::BlockSampler;
+    for case in 0..CASES {
+        let mut g = Gen::new(9, case);
+        let seed = g.next() % 10_000;
+        let coeff = g.f64_in(-8.0, 8.0);
+        let len = g.usize_in(1, 200);
         let mut s1 = UnitUniform::<f64>::sampler(FastRng::new(seed));
         let mut s2 = UnitUniform::<f64>::sampler(FastRng::new(seed));
         let mut direct = vec![1.0; len];
@@ -180,25 +270,31 @@ proptest! {
             *o += coeff * x;
         }
         for (x, y) in direct.iter().zip(staged.iter()) {
-            prop_assert!((x - y).abs() < 1e-12);
+            assert!((x - y).abs() < 1e-12, "case {case}");
         }
     }
+}
 
-    /// Matrix Market writer/reader round trip for arbitrary matrices.
-    #[test]
-    fn matrix_market_round_trip(a in sparse_matrix()) {
+/// Matrix Market writer/reader round trip for arbitrary matrices.
+#[test]
+fn matrix_market_round_trip() {
+    for case in 0..CASES {
+        let mut g = Gen::new(10, case);
+        let a = g.sparse_matrix();
         let mut buf = Vec::new();
         sparsekit::io::write_matrix_market_to(&a, &mut buf).unwrap();
         let b: CscMatrix<f64> =
             sparsekit::io::read_matrix_market_from(std::io::Cursor::new(buf)).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// uniform_random honours its density argument on average.
-    #[test]
-    fn generator_density(seed in 0u64..100) {
+/// uniform_random honours its density argument on average.
+#[test]
+fn generator_density() {
+    for seed in 0..CASES {
         let a = uniform_random::<f64>(400, 200, 0.05, seed);
         let rho = a.density();
-        prop_assert!((rho - 0.05).abs() < 0.02, "density {rho}");
+        assert!((rho - 0.05).abs() < 0.02, "seed {seed}: density {rho}");
     }
 }
