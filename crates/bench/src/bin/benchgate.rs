@@ -1,0 +1,191 @@
+//! `benchgate` — record performance baselines and gate against them.
+//!
+//! ```text
+//! benchgate record [--out PATH] [--reps R] [--scale N] [--quick]
+//! benchgate --against PATH [--reps R] [--rel-tol X] [--mad-k K] [--quick]
+//! ```
+//!
+//! `record` runs the fixed suite (kernels + solvers, see `bench::gate`) and
+//! writes a `BENCH_<unix-timestamp>.json` baseline under `results/` with a
+//! full run manifest. `--against` re-runs the suite at the baseline's scale
+//! and compares per-scenario medians with the noise-aware threshold
+//! `max(rel_tol·median, k·MAD)`, cross-checking that the deterministic work
+//! counters are bitwise identical (perf drift vs work drift).
+//!
+//! Exit codes: 0 pass, 1 regression / work drift, 2 usage or I/O error.
+//!
+//! Test hook: `BENCHGATE_SLOWDOWN_NS=<ns>` busy-waits that long inside every
+//! timed repetition, letting the verify script prove the gate trips.
+
+use bench::gate::{compare, print_deltas, record_baseline, run_suite, Baseline, GateConfig};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  benchgate record [--out PATH] [--reps R] [--scale N] [--quick]\n  \
+         benchgate --against PATH [--reps R] [--rel-tol X] [--mad-k K] [--quick]"
+    );
+    ExitCode::from(2)
+}
+
+struct Cli {
+    record: bool,
+    against: Option<String>,
+    out: Option<String>,
+    reps: Option<usize>,
+    scale: Option<usize>,
+    rel_tol: Option<f64>,
+    mad_k: Option<f64>,
+    quick: bool,
+}
+
+fn parse_cli(args: &[String]) -> Option<Cli> {
+    let mut cli = Cli {
+        record: false,
+        against: None,
+        out: None,
+        reps: None,
+        scale: None,
+        rel_tol: None,
+        mad_k: None,
+        quick: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "record" => cli.record = true,
+            "--against" => cli.against = Some(it.next()?.clone()),
+            "--out" => cli.out = Some(it.next()?.clone()),
+            "--reps" => cli.reps = Some(it.next()?.parse().ok()?),
+            "--scale" => cli.scale = Some(it.next()?.parse().ok()?),
+            "--rel-tol" => cli.rel_tol = Some(it.next()?.parse().ok()?),
+            "--mad-k" => cli.mad_k = Some(it.next()?.parse().ok()?),
+            "--quick" => cli.quick = true,
+            _ => return None,
+        }
+    }
+    if cli.record == cli.against.is_some() {
+        return None; // exactly one mode
+    }
+    Some(cli)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cli) = parse_cli(&args) else {
+        return usage();
+    };
+
+    let mut cfg = GateConfig::default();
+    if cli.quick {
+        cfg.scale = 4;
+        cfg.reps = 3;
+    }
+    if let Some(s) = cli.scale {
+        cfg.scale = s.max(1);
+    }
+    if let Some(r) = cli.reps {
+        cfg.reps = r.max(1);
+    }
+    if let Some(t) = cli.rel_tol {
+        cfg.rel_tol = t;
+    }
+    if let Some(k) = cli.mad_k {
+        cfg.mad_k = k;
+    }
+    if let Ok(ns) = std::env::var("BENCHGATE_SLOWDOWN_NS") {
+        match ns.parse() {
+            Ok(ns) => cfg.inject_slowdown_ns = ns,
+            Err(_) => {
+                eprintln!("benchgate: bad BENCHGATE_SLOWDOWN_NS {ns:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(path) = cli.against {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("benchgate: cannot read baseline {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let base = match Baseline::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("benchgate: {path} is not a usable baseline: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        // The suite must re-run at the baseline's scale and reps, or the
+        // deterministic counters (and the noise statistics) are not
+        // comparable. CLI --scale is rejected in this mode; --reps only
+        // changes noise, so it is allowed but defaults to the baseline's.
+        if let Some(s) = cli.scale {
+            if s != base.manifest.scale {
+                eprintln!(
+                    "benchgate: --scale {s} conflicts with baseline scale {} (counters would drift)",
+                    base.manifest.scale
+                );
+                return ExitCode::from(2);
+            }
+        }
+        cfg.scale = base.manifest.scale;
+        if cli.reps.is_none() {
+            cfg.reps = base.manifest.reps;
+        }
+        println!(
+            "benchgate: comparing against {path} (git {}, recorded scale 1/{}, {} reps, rel_tol {:.0}%, mad_k {})",
+            base.manifest.git_sha, cfg.scale, cfg.reps, cfg.rel_tol * 100.0, cfg.mad_k
+        );
+        let current = match run_suite(&cfg) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("benchgate: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let (deltas, fail) = compare(&base, &current, &cfg);
+        print_deltas(&deltas);
+        if fail {
+            eprintln!("benchgate: FAIL — regression, work drift, or missing scenario (see table)");
+            ExitCode::from(1)
+        } else {
+            println!("benchgate: pass — no regressions beyond noise, counters bitwise identical");
+            ExitCode::SUCCESS
+        }
+    } else {
+        let base = match record_baseline(&cfg) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("benchgate: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let path = cli.out.unwrap_or_else(|| {
+            let _ = std::fs::create_dir_all("results");
+            format!("results/BENCH_{}.json", base.manifest.created_unix)
+        });
+        if let Err(e) = std::fs::write(&path, base.to_json()) {
+            eprintln!("benchgate: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        for sc in &base.scenarios {
+            println!(
+                "  {:12} median {:>12} ns  mad {:>10} ns  ({} reps)",
+                sc.name,
+                sc.median_ns,
+                sc.mad_ns,
+                sc.reps_ns.len()
+            );
+        }
+        println!(
+            "benchgate: baseline written to {path} (git {}, scale 1/{}, {} scenarios)",
+            base.manifest.git_sha,
+            base.manifest.scale,
+            base.scenarios.len()
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -49,7 +49,7 @@ fn main() {
         _ => ("smoke".to_string(), 0),
     };
     let mut rc = RunConfig::default();
-    let mut obs_json = obskit::json_path_from_env();
+    let mut obs_json_cli: Option<String> = None;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
@@ -74,7 +74,7 @@ fn main() {
                 i += 2;
             }
             "--obs-json" => {
-                obs_json = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                obs_json_cli = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
                 i += 2;
             }
             _ => usage(),
@@ -130,19 +130,12 @@ fn main() {
         _ => usage(),
     }
 
-    if obskit::enabled() {
-        let snap = obskit::snapshot();
-        print!("\n{}", snap.summary());
-        if let Some(path) = &obs_json {
-            match snap.write_jsonl(path) {
-                Ok(()) => println!("telemetry JSONL written to {path}"),
-                Err(e) => {
-                    eprintln!("failed to write telemetry to {path}: {e}");
-                    std::process::exit(1);
-                }
-            }
-        }
-    } else if obs_json.is_some() {
-        eprintln!("--obs-json given but telemetry is off (SKETCH_OBS=0 or the obs feature is disabled); nothing written");
+    let sink = obskit::resolve_json_sink(obs_json_cli);
+    if let Err(e) = obskit::emit_run_telemetry(sink.as_deref()) {
+        eprintln!(
+            "failed to write telemetry to {}: {e}",
+            sink.as_deref().unwrap_or("?")
+        );
+        std::process::exit(1);
     }
 }

@@ -1,10 +1,30 @@
 //! Developer profiling tool: per-sample sketch cost across blockings and
 //! matrix patterns. Numbers on this host carry up to ~3x hypervisor-steal
 //! noise; compare within one run only.
+//!
+//! `--obs-json PATH` (or `SKETCH_OBS_JSON`) exports the run's telemetry as
+//! JSONL, exactly like `repro`.
 
 fn main() {
     use rngkit::{FastRng, UnitUniform};
     use sketchcore::{sketch_alg3, sketch_alg3_par_cols, SketchConfig};
+    let mut args = std::env::args().skip(1);
+    let mut obs_json_cli: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--obs-json" => match args.next() {
+                Some(path) => obs_json_cli = Some(path),
+                None => {
+                    eprintln!("usage: sketchprof [--obs-json PATH]");
+                    std::process::exit(2);
+                }
+            },
+            _ => {
+                eprintln!("usage: sketchprof [--obs-json PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
     let suite = datagen::lsq_suite(8);
     let p = &suite[1]; // spal_004
     let a = &p.a;
@@ -42,14 +62,12 @@ fn main() {
             dt / samples * 1e9
         );
     }
-    if obskit::enabled() {
-        let snap = obskit::snapshot();
-        print!("\n{}", snap.summary());
-        if let Some(path) = obskit::json_path_from_env() {
-            match snap.write_jsonl(&path) {
-                Ok(()) => println!("telemetry JSONL written to {path}"),
-                Err(e) => eprintln!("failed to write telemetry to {path}: {e}"),
-            }
-        }
+    let sink = obskit::resolve_json_sink(obs_json_cli);
+    if let Err(e) = obskit::emit_run_telemetry(sink.as_deref()) {
+        eprintln!(
+            "failed to write telemetry to {}: {e}",
+            sink.as_deref().unwrap_or("?")
+        );
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,425 @@
+//! Minimal JSON value model, parser and writer for the benchmark baseline
+//! files (`BENCH_*.json`).
+//!
+//! The repo is built fully offline with no external crates, so like
+//! obskit's JSONL writer this is hand-rolled std-only code. It supports
+//! exactly what the baseline schema needs: objects, arrays, strings,
+//! booleans, null, and numbers — with unsigned/signed integers kept exact
+//! (not routed through `f64`), because the regression gate cross-checks
+//! counter values for *bitwise* equality.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Jval {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer that fits `u64`, kept exact.
+    U(u64),
+    /// A negative integer that fits `i64`, kept exact.
+    I(i64),
+    /// Any other number.
+    F(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Jval>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, Jval)>),
+}
+
+impl Jval {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Jval> {
+        match self {
+            Jval::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` (exact integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Jval::U(v) => Some(*v),
+            Jval::I(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (any number).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Jval::U(v) => Some(*v as f64),
+            Jval::I(v) => Some(*v as f64),
+            Jval::F(v) => Some(*v),
+            Jval::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Jval::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Jval]> {
+        match self {
+            Jval::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serialize with two-space indentation (stable field order).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Jval::Null => out.push_str("null"),
+            Jval::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Jval::U(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Jval::I(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Jval::F(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Jval::Str(s) => write_json_string(out, s),
+            Jval::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                // Scalar-only arrays render on one line; nested ones indent.
+                let flat = items
+                    .iter()
+                    .all(|v| !matches!(v, Jval::Arr(_) | Jval::Obj(_)));
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if !flat {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(indent + 1));
+                    }
+                    v.write(out, indent + 1);
+                }
+                if !flat {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+                out.push(']');
+            }
+            Jval::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_json_string(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a complete JSON document; trailing whitespace allowed, trailing
+/// garbage rejected.
+pub fn parse(text: &str) -> Result<Jval, String> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Jval) -> Result<Jval, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Jval, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Jval::Null),
+            Some(b't') => self.literal("true", Jval::Bool(true)),
+            Some(b'f') => self.literal("false", Jval::Bool(false)),
+            Some(b'"') => self.string().map(Jval::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            // Surrogates are not needed by the schema; map
+                            // unpaired ones to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Jval, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        if !float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Jval::U(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Jval::I(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Jval::F)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn array(&mut self) -> Result<Jval, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Jval::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Jval::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Jval, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Jval::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Jval::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_values() {
+        let v = Jval::Obj(vec![
+            ("a".into(), Jval::U(18446744073709551615)),
+            ("b".into(), Jval::I(-42)),
+            ("c".into(), Jval::F(1.5)),
+            ("s".into(), Jval::Str("q\"uo\\te\n".into())),
+            ("n".into(), Jval::Null),
+            ("t".into(), Jval::Bool(true)),
+            (
+                "arr".into(),
+                Jval::Arr(vec![Jval::U(1), Jval::U(2), Jval::U(3)]),
+            ),
+            ("empty".into(), Jval::Arr(vec![])),
+            ("obj".into(), Jval::Obj(vec![("x".into(), Jval::U(7))])),
+        ]);
+        let text = v.render();
+        let back = parse(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn u64_counters_stay_bitwise_exact() {
+        // 2^63 + 3 is not representable in f64; the parser must keep it.
+        let text = "{\"flops\": 9223372036854775811}";
+        let v = parse(text).unwrap();
+        assert_eq!(v.get("flops").unwrap().as_u64(), Some(9223372036854775811));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{\"a\": 1} x").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn parses_nested_whitespace() {
+        let v = parse(" { \"a\" : [ 1 , { \"b\" : null } ] } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 2);
+    }
+}

@@ -15,6 +15,8 @@
 
 pub mod extensions;
 pub mod figures;
+pub mod gate;
+pub mod json;
 pub mod solvers;
 pub mod tables;
 
@@ -45,14 +47,23 @@ impl Default for RunConfig {
 
 /// Median wall-clock seconds of `reps` runs of `f` (result of last run kept
 /// alive until timing completes to defeat dead-code elimination).
+///
+/// Telemetry records only on the *first* repetition: counters describe one
+/// execution of `f` regardless of `reps`, so `repro --reps 3` and
+/// `--reps 1` export identical work totals.
 pub fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let was = obskit::enabled();
     let mut times = Vec::with_capacity(reps.max(1));
-    for _ in 0..reps.max(1) {
+    for rep in 0..reps.max(1) {
+        if rep == 1 {
+            obskit::set_enabled(false);
+        }
         let t0 = Instant::now();
         let r = f();
         times.push(t0.elapsed().as_secs_f64());
         std::hint::black_box(&r);
     }
+    obskit::set_enabled(was);
     times.sort_by(|a, b| a.partial_cmp(b).unwrap());
     times[times.len() / 2]
 }

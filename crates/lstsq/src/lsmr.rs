@@ -117,6 +117,7 @@ pub fn lsmr<A: LinOp>(op: &mut A, b: &[f64], opts: &LsmrOptions) -> LsmrResult {
 
     while iters < opts.max_iters {
         iters += 1;
+        let t_it = (stride > 0).then(std::time::Instant::now);
 
         // Bidiagonalization continue.
         op.apply(&v, &mut scratch_m);
@@ -185,6 +186,9 @@ pub fn lsmr<A: LinOp>(op: &mut A, b: &[f64], opts: &LsmrOptions) -> LsmrResult {
             beta1
         };
         let rel_atr = atr / (anorm2.sqrt() * rnorm).max(f64::MIN_POSITIVE);
+        if let Some(t_it) = t_it {
+            obskit::hist_record_ns("lstsq/lsmr/iter", t_it.elapsed().as_nanos() as u64);
+        }
         let stopping = atr == 0.0 || atr <= opts.atol * anorm2.sqrt() * rnorm;
         let last = stopping || iters == opts.max_iters;
         if stride > 0 && (last || (iters as u64).is_multiple_of(stride)) {

@@ -132,6 +132,7 @@ pub fn lsqr<A: LinOp>(op: &mut A, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
 
     while iters < opts.max_iters {
         iters += 1;
+        let t_it = (stride > 0).then(std::time::Instant::now);
 
         // Bidiagonalization step: β·u = A·v − α·u.
         op.apply(&v, &mut scratch_m);
@@ -191,6 +192,9 @@ pub fn lsqr<A: LinOp>(op: &mut A, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
         } else {
             None
         };
+        if let Some(t_it) = t_it {
+            obskit::hist_record_ns("lstsq/lsqr/iter", t_it.elapsed().as_nanos() as u64);
+        }
         let last = stopping.is_some() || iters == opts.max_iters;
         if stride > 0 && (last || (iters as u64).is_multiple_of(stride)) {
             obskit::event(

@@ -11,6 +11,9 @@
 //!   threads finish (parkit flushes at its join points) or on demand.
 //! * **Counters** — typed tallies of samples drawn, `set_state` seeks,
 //!   flops, and bytes moved, bumped at *block* granularity by the kernels.
+//! * **Histograms** — log-bucketed latency distributions ([`Hist`],
+//!   [`hist_record_ns`]): p50/p90/p99 and MAD per span path, not just
+//!   totals, accumulated per thread and merged at flush like the counters.
 //! * **Events** — per-iteration solver records (iteration, relative
 //!   residual, elapsed seconds) and free-form records like the
 //!   measured-vs-model traffic comparison.
@@ -73,6 +76,207 @@ pub const CTR_NAMES: [&str; NCTR] = [
 /// rather than silently discarded.
 pub const MAX_EVENTS: usize = 1 << 20;
 
+// --- histograms --------------------------------------------------------
+
+/// Significant bits per octave of the log bucketing: 8 sub-buckets per
+/// power of two, so a bucket's relative width is 1/8 and its midpoint is
+/// within ±6.25 % of any value it holds.
+const HIST_SUB_BITS: u32 = 3;
+const HIST_SUB: u64 = 1 << HIST_SUB_BITS;
+
+/// Number of histogram buckets: values `0..8` get exact buckets, every
+/// octave `2^o..2^(o+1)` for `o in 3..64` gets [`HIST_SUB`] buckets.
+pub const HIST_NBUCKETS: usize = (HIST_SUB + (64 - HIST_SUB_BITS as u64) * HIST_SUB) as usize;
+
+#[inline]
+fn hist_bucket(v: u64) -> usize {
+    if v < HIST_SUB {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros() as u64; // ≥ HIST_SUB_BITS
+        let sub = (v >> (octave - HIST_SUB_BITS as u64)) & (HIST_SUB - 1);
+        (HIST_SUB + (octave - HIST_SUB_BITS as u64) * HIST_SUB + sub) as usize
+    }
+}
+
+/// Lower bound of bucket `idx` (its smallest representable value).
+fn hist_bucket_lo(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < HIST_SUB {
+        idx
+    } else {
+        let octave = (idx - HIST_SUB) / HIST_SUB + HIST_SUB_BITS as u64;
+        let sub = (idx - HIST_SUB) % HIST_SUB;
+        (1u64 << octave) + sub * (1u64 << (octave - HIST_SUB_BITS as u64))
+    }
+}
+
+/// Representative (mid-bucket) value of bucket `idx`.
+fn hist_bucket_mid(idx: usize) -> u64 {
+    let lo = hist_bucket_lo(idx);
+    let width = if (idx as u64) < HIST_SUB {
+        1
+    } else {
+        let octave = (idx as u64 - HIST_SUB) / HIST_SUB + HIST_SUB_BITS as u64;
+        1u64 << (octave - HIST_SUB_BITS as u64)
+    };
+    lo + width / 2
+}
+
+/// A log-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// Buckets are base-2 logarithmic with [`HIST_SUB`] sub-buckets per octave
+/// (HDR-histogram style), so quantile estimates carry at most ±6.25 %
+/// relative bucketing error while `record` stays O(1) and allocation-free
+/// after construction. `count`, `sum`, `min` and `max` are tracked exactly.
+/// Merging two histograms bucket-wise is exactly the histogram of the
+/// concatenated inputs, which is what lets per-thread accumulators combine
+/// at flush time without loss.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hist {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self {
+            buckets: vec![0; HIST_NBUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Hist {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[hist_bucket(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold `other` into `self`; the result is identical to a histogram
+    /// that recorded both input streams.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Nearest-rank quantile `q ∈ [0, 1]`: the mid-bucket value of the
+    /// bucket holding the `⌈q·count⌉`-th smallest sample, clamped to the
+    /// exact `[min, max]` range (so `quantile(0.0)` is exactly `min`,
+    /// `quantile(1.0)` exactly `max`, and a single-valued histogram reports
+    /// that value at every `q`). Returns `NaN` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (hist_bucket_mid(idx) as f64).clamp(self.min as f64, self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    /// Median absolute deviation about the median, computed from the bucket
+    /// representatives: the weighted median of `|mid(bucket) − median|`.
+    /// Carries the same ±6.25 % bucketing error as [`Hist::quantile`];
+    /// `NaN` on an empty histogram, exactly 0 when all samples share one
+    /// bucket.
+    pub fn mad(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let med = self.quantile(0.5);
+        let mut devs: Vec<(f64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(idx, &c)| {
+                let mid = (hist_bucket_mid(idx) as f64).clamp(self.min as f64, self.max as f64);
+                ((mid - med).abs(), c)
+            })
+            .collect();
+        devs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let rank = self.count.div_ceil(2);
+        let mut seen = 0u64;
+        for (d, c) in devs {
+            seen += c;
+            if seen >= rank {
+                return d;
+            }
+        }
+        0.0
+    }
+
+    /// Mean of the recorded samples (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// Record `ns` into the histogram registered under `path` on this thread's
+/// accumulator (no-op when telemetry is disabled). Merged into the global
+/// registry at the same flush points as the counters.
+#[inline]
+pub fn hist_record_ns(path: &'static str, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|l| l.hists.entry(path).or_default().record(ns));
+}
+
 // --- gating ------------------------------------------------------------
 
 // 0 = uninitialized, 1 = disabled, 2 = enabled.
@@ -100,6 +304,14 @@ pub fn enabled() -> bool {
         _ => init_gate(),
     }
 }
+
+/// Crate version, for embedding in run manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Was the `obs` feature compiled in? (Run manifests record this; without
+/// it every counter is dead code and a recorded baseline would be all
+/// zeros.)
+pub const OBS_COMPILED: bool = cfg!(feature = "obs");
 
 /// Override the `SKETCH_OBS` gate programmatically (tests, harnesses).
 pub fn set_enabled(on: bool) {
@@ -151,6 +363,7 @@ pub enum Value {
 
 struct Registry {
     spans: Mutex<HashMap<&'static str, SpanStat>>,
+    hists: Mutex<HashMap<&'static str, Hist>>,
     counters: [AtomicU64; NCTR],
     events: Mutex<Vec<Event>>,
     dropped_events: AtomicU64,
@@ -160,6 +373,7 @@ fn registry() -> &'static Registry {
     static REG: OnceLock<Registry> = OnceLock::new();
     REG.get_or_init(|| Registry {
         spans: Mutex::new(HashMap::new()),
+        hists: Mutex::new(HashMap::new()),
         counters: std::array::from_fn(|_| AtomicU64::new(0)),
         events: Mutex::new(Vec::new()),
         dropped_events: AtomicU64::new(0),
@@ -172,6 +386,7 @@ fn registry() -> &'static Registry {
 struct Local {
     counters: [u64; NCTR],
     spans: HashMap<&'static str, SpanStat>,
+    hists: HashMap<&'static str, Hist>,
 }
 
 impl Local {
@@ -189,6 +404,12 @@ impl Local {
                 let e = g.entry(path).or_default();
                 e.ns += s.ns;
                 e.calls += s.calls;
+            }
+        }
+        if !self.hists.is_empty() {
+            let mut g = reg.hists.lock().unwrap();
+            for (path, h) in self.hists.drain() {
+                g.entry(path).or_default().merge(&h);
             }
         }
     }
@@ -389,6 +610,8 @@ impl LocalSpans {
 pub struct Snapshot {
     /// Span statistics sorted by path.
     pub spans: Vec<(String, SpanStat)>,
+    /// Histograms sorted by path.
+    pub hists: Vec<(String, Hist)>,
     /// Counter values in [`Ctr`] slot order.
     pub counters: [u64; NCTR],
     /// Recorded events in arrival order.
@@ -409,8 +632,17 @@ pub fn snapshot() -> Snapshot {
         .map(|(k, v)| (k.to_string(), *v))
         .collect();
     spans.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut hists: Vec<(String, Hist)> = reg
+        .hists
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
+    hists.sort_by(|a, b| a.0.cmp(&b.0));
     Snapshot {
         spans,
+        hists,
         counters: std::array::from_fn(|i| reg.counters[i].load(Ordering::Relaxed)),
         events: reg.events.lock().unwrap().clone(),
         dropped_events: reg.dropped_events.load(Ordering::Relaxed),
@@ -426,9 +658,11 @@ pub fn reset() {
     with_local(|l| {
         l.counters = [0; NCTR];
         l.spans.clear();
+        l.hists.clear();
     });
     let reg = registry();
     reg.spans.lock().unwrap().clear();
+    reg.hists.lock().unwrap().clear();
     for c in &reg.counters {
         c.store(0, Ordering::Relaxed);
     }
@@ -441,6 +675,37 @@ pub fn json_path_from_env() -> Option<String> {
     std::env::var("SKETCH_OBS_JSON")
         .ok()
         .filter(|p| !p.is_empty())
+}
+
+/// Resolve the JSONL sink shared by every binary: an explicit CLI value
+/// (`--obs-json PATH`) wins over `SKETCH_OBS_JSON`. The one place the
+/// precedence rule lives — `repro`, `sketchprof` and `benchgate` all call
+/// this instead of re-implementing it.
+pub fn resolve_json_sink(cli: Option<String>) -> Option<String> {
+    cli.or_else(json_path_from_env)
+}
+
+/// End-of-run sink shared by the binaries: when telemetry is enabled, print
+/// the human summary and, if a JSONL path was resolved, write the snapshot
+/// there. Returns `Ok(true)` when a file was written. When telemetry is off
+/// but a path was requested, warns on stderr (nothing was recorded).
+pub fn emit_run_telemetry(json_path: Option<&str>) -> std::io::Result<bool> {
+    if !enabled() {
+        if json_path.is_some() {
+            eprintln!(
+                "--obs-json given but telemetry is off (SKETCH_OBS=0 or the obs feature is disabled); nothing written"
+            );
+        }
+        return Ok(false);
+    }
+    let snap = snapshot();
+    print!("\n{}", snap.summary());
+    if let Some(path) = json_path {
+        snap.write_jsonl(path)?;
+        println!("telemetry JSONL written to {path}");
+        return Ok(true);
+    }
+    Ok(false)
 }
 
 fn json_escape(out: &mut String, s: &str) {
@@ -509,6 +774,29 @@ impl Snapshot {
             line.push('}');
             let _ = writeln!(out, "{line}");
         }
+        for (path, h) in &self.hists {
+            if h.is_empty() {
+                continue;
+            }
+            let mut line = String::from("{\"type\":\"hist\",\"path\":\"");
+            json_escape(&mut line, path);
+            let _ = write!(
+                line,
+                "\",\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{}",
+                h.count(),
+                h.sum(),
+                h.min().unwrap_or(0),
+                h.max().unwrap_or(0)
+            );
+            for (name, q) in [("p50_ns", 0.5), ("p90_ns", 0.9), ("p99_ns", 0.99)] {
+                let _ = write!(line, ",\"{name}\":");
+                json_f64(&mut line, h.quantile(q));
+            }
+            line.push_str(",\"mad_ns\":");
+            json_f64(&mut line, h.mad());
+            line.push('}');
+            let _ = writeln!(out, "{line}");
+        }
         for (slot, name) in CTR_NAMES.iter().enumerate() {
             if self.counters[slot] != 0 {
                 let _ = writeln!(
@@ -540,10 +828,11 @@ impl Snapshot {
         std::fs::write(path, self.to_jsonl())
     }
 
-    /// Human-readable summary: a span tree with times, then counters.
+    /// Human-readable summary: a span tree with times, histogram quantiles,
+    /// then counters.
     pub fn summary(&self) -> String {
         let mut out = String::new();
-        if self.spans.is_empty() && self.counters.iter().all(|&c| c == 0) {
+        if self.spans.is_empty() && self.hists.is_empty() && self.counters.iter().all(|&c| c == 0) {
             out.push_str("obskit: nothing recorded\n");
             return out;
         }
@@ -563,6 +852,20 @@ impl Snapshot {
                 "{name:<width$}  {:>12.6} s  ×{}",
                 s.ns as f64 * 1e-9,
                 s.calls
+            );
+        }
+        for (path, h) in &self.hists {
+            if h.is_empty() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{path:<width$}  p50 {:>9.0} ns  p90 {:>9.0} ns  p99 {:>9.0} ns  mad {:>8.0} ns  ×{}",
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99),
+                h.mad(),
+                h.count()
             );
         }
         for (slot, name) in CTR_NAMES.iter().enumerate() {
@@ -764,5 +1067,162 @@ mod tests {
     #[test]
     fn solver_stride_defaults_to_one() {
         assert!(solver_event_stride() >= 1);
+    }
+
+    // --- histogram unit tests -------------------------------------------
+
+    #[test]
+    fn hist_bucket_bounds_are_monotone_and_cover() {
+        // Every value lands in a bucket whose [lo, next lo) range holds it.
+        for v in (0..200u64).chain([1 << 20, u64::MAX / 3, u64::MAX]) {
+            let idx = hist_bucket(v);
+            assert!(idx < HIST_NBUCKETS, "index out of range for {v}");
+            assert!(hist_bucket_lo(idx) <= v, "lo > v for {v}");
+            if idx + 1 < HIST_NBUCKETS {
+                assert!(v < hist_bucket_lo(idx + 1), "v beyond bucket for {v}");
+            }
+        }
+        // Lower bounds strictly increase.
+        for idx in 1..HIST_NBUCKETS {
+            assert!(hist_bucket_lo(idx) > hist_bucket_lo(idx - 1));
+        }
+    }
+
+    #[test]
+    fn hist_closed_form_quantiles() {
+        // Values 0..8 are bucketed exactly, so small-input quantiles are
+        // closed-form: nearest-rank over {1,2,3,4,5}.
+        let mut h = Hist::new();
+        for v in [1u64, 2, 3, 4, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 15);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(5));
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(0.5), 3.0);
+        assert_eq!(h.quantile(1.0), 5.0);
+        // Nearest rank: ⌈0.9·5⌉ = 5th smallest = 5.
+        assert_eq!(h.quantile(0.9), 5.0);
+        // MAD of {1..5}: deviations {2,1,0,1,2}, median 1.
+        assert_eq!(h.mad(), 1.0);
+        // Mean is exact (sum and count are exact).
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hist_quantiles_within_bucket_error_on_large_inputs() {
+        // 1..=1000: quantiles must sit within the ±1/8 relative bucket
+        // width of the exact nearest-rank answer.
+        let mut h = Hist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+            let got = h.quantile(q);
+            assert!(
+                (got - exact).abs() <= exact / 8.0 + 1.0,
+                "q{q}: got {got}, exact {exact}"
+            );
+        }
+        // MAD of 1..=1000 is 250; allow bucketing error on both the median
+        // and the deviation median (≤ 1/8 each).
+        let mad = h.mad();
+        assert!((mad - 250.0).abs() <= 250.0 / 4.0 + 2.0, "mad {mad}");
+    }
+
+    #[test]
+    fn hist_merge_equals_concatenation() {
+        let xs: Vec<u64> = (0..500).map(|i| (i * i * 2654435761u64) >> 16).collect();
+        let (a_in, b_in) = xs.split_at(173);
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        let mut whole = Hist::new();
+        for &v in a_in {
+            a.record(v);
+        }
+        for &v in b_in {
+            b.record(v);
+        }
+        for &v in &xs {
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "merge must equal histogram of concatenation");
+        // Merging an empty histogram is the identity.
+        let before = whole.clone();
+        whole.merge(&Hist::new());
+        assert_eq!(whole, before);
+    }
+
+    #[test]
+    fn hist_empty_edge_cases() {
+        let h = Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert!(h.quantile(0.5).is_nan());
+        assert!(h.mad().is_nan());
+        assert!(h.mean().is_nan());
+        // Single sample: every quantile is that sample, MAD is 0.
+        let mut h1 = Hist::new();
+        h1.record(12345);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h1.quantile(q), 12345.0);
+        }
+        assert_eq!(h1.mad(), 0.0);
+    }
+
+    #[test]
+    fn hist_thread_locals_merge_at_flush() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    for i in 0..10u64 {
+                        hist_record_ns("h/par", 100 * t + i);
+                    }
+                    flush_thread();
+                });
+            }
+        });
+        let snap = snapshot();
+        let (_, h) = snap.hists.iter().find(|(p, _)| p == "h/par").unwrap();
+        assert_eq!(h.count(), 40);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max().map(|m| m >= 300), Some(true));
+        reset();
+        assert!(snapshot().hists.is_empty());
+    }
+
+    #[test]
+    fn hist_jsonl_and_summary_lines() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        for v in [1000u64, 2000, 3000] {
+            hist_record_ns("h/block", v);
+        }
+        let snap = snapshot();
+        let text = snap.to_jsonl();
+        assert!(text.contains("\"type\":\"hist\",\"path\":\"h/block\",\"count\":3"));
+        assert!(text.contains("\"p50_ns\":"));
+        assert!(text.contains("\"mad_ns\":"));
+        assert!(snap.summary().contains("p50"));
+        reset();
+    }
+
+    #[test]
+    fn hist_disabled_records_nothing() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        set_enabled(false);
+        hist_record_ns("h/off", 5);
+        set_enabled(true);
+        assert!(snapshot().hists.is_empty());
     }
 }

@@ -32,8 +32,10 @@ where
     let mut ahat = Matrix::zeros(cfg.d, a.ncols());
     let mut sampler = sampler.clone();
     alg1::drive(cfg, a.ncols(), |b| {
+        let t0 = obskit::enabled().then(std::time::Instant::now);
         kernel(&mut ahat, a, b, &mut sampler);
-        if obskit::enabled() {
+        if let Some(t0) = t0 {
+            obskit::hist_record_ns("sketch/alg3/block", t0.elapsed().as_nanos() as u64);
             let nnz_b: usize = (b.j..b.j + b.n1).map(|k| a.col(k).0.len()).sum();
             crate::obs::count_block::<T>(b.d1, b.n1, nnz_b);
         }
@@ -105,8 +107,10 @@ where
     let mut sampler = sampler.clone();
     let mut v = vec![0i8; cfg.b_d.min(cfg.d)];
     alg1::drive(cfg, a.ncols(), |b| {
+        let t0 = obskit::enabled().then(std::time::Instant::now);
         kernel_signs(&mut ahat, a, b, &mut sampler, &mut v);
-        if obskit::enabled() {
+        if let Some(t0) = t0 {
+            obskit::hist_record_ns("sketch/alg3_signs/block", t0.elapsed().as_nanos() as u64);
             let nnz_b: usize = (b.j..b.j + b.n1).map(|k| a.col(k).0.len()).sum();
             crate::obs::count_block::<i8>(b.d1, b.n1, nnz_b);
         }

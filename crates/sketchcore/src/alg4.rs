@@ -36,6 +36,7 @@ where
         let mut i = 0;
         while i < cfg.d {
             let d1 = cfg.b_d.min(cfg.d - i);
+            let t0 = obskit::enabled().then(std::time::Instant::now);
             kernel(
                 &mut ahat,
                 a,
@@ -49,7 +50,8 @@ where
                 &mut sampler,
                 &mut v,
             );
-            if obskit::enabled() {
+            if let Some(t0) = t0 {
+                obskit::hist_record_ns("sketch/alg4/block", t0.elapsed().as_nanos() as u64);
                 let rows_hit = (0..csr.nrows()).filter(|&j| csr.row_nnz(j) > 0).count();
                 crate::obs::count_block_alg4::<T>(d1, csr.ncols(), csr.nnz(), rows_hit);
             }
@@ -109,6 +111,7 @@ where
         while i < cfg.d {
             let d1 = cfg.b_d.min(cfg.d - i);
             let vv = &mut v[..d1];
+            let t0 = obskit::enabled().then(std::time::Instant::now);
             for j in 0..csr.nrows() {
                 let (cols, vals) = csr.row(j);
                 if cols.is_empty() {
@@ -122,6 +125,11 @@ where
                         *o += if s >= 0 { ajk } else { -ajk };
                     }
                 }
+            }
+            if let Some(t0) = t0 {
+                obskit::hist_record_ns("sketch/alg4_signs/block", t0.elapsed().as_nanos() as u64);
+                let rows_hit = (0..csr.nrows()).filter(|&j| csr.row_nnz(j) > 0).count();
+                crate::obs::count_block_alg4::<i8>(d1, csr.ncols(), csr.nnz(), rows_hit);
             }
             i += cfg.b_d;
         }

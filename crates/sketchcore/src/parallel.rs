@@ -45,6 +45,7 @@ where
         let mut i = 0;
         while i < d {
             let d1 = cfg.b_d.min(d - i);
+            let t0 = obskit::enabled().then(std::time::Instant::now);
             let mut nnz_b = 0usize;
             for kl in 0..n1 {
                 let (rows, vals) = a.col(j0 + kl);
@@ -55,7 +56,11 @@ where
                     sampler.fill_axpy(ajk, out);
                 }
             }
-            if obskit::enabled() {
+            if let Some(t0) = t0 {
+                obskit::hist_record_ns(
+                    "sketch/alg3_par_cols/block",
+                    t0.elapsed().as_nanos() as u64,
+                );
                 obs::count_block::<T>(d1, n1, nnz_b);
             }
             i += cfg.b_d;
@@ -122,6 +127,7 @@ where
         let mut j = 0;
         while j < n {
             let n1 = cfg.b_n.min(n - j);
+            let t0 = obskit::enabled().then(std::time::Instant::now);
             let mut nnz_b = 0usize;
             for k in j..j + n1 {
                 let (rows, vals) = a.col(k);
@@ -132,7 +138,11 @@ where
                     sampler.fill_axpy(ajk, out);
                 }
             }
-            if obskit::enabled() {
+            if let Some(t0) = t0 {
+                obskit::hist_record_ns(
+                    "sketch/alg3_par_rows/block",
+                    t0.elapsed().as_nanos() as u64,
+                );
                 obs::count_block::<T>(d1, n1, nnz_b);
             }
             j += cfg.b_n;
@@ -170,6 +180,7 @@ where
         for b in 0..a.nblocks() {
             let csr = a.block(b);
             let j0 = a.block_col_offset(b);
+            let t0 = obskit::enabled().then(std::time::Instant::now);
             let mut rows_hit = 0usize;
             for j in 0..csr.nrows() {
                 let (cols, vals) = csr.row(j);
@@ -186,7 +197,11 @@ where
                     }
                 }
             }
-            if obskit::enabled() {
+            if let Some(t0) = t0 {
+                obskit::hist_record_ns(
+                    "sketch/alg4_par_rows/block",
+                    t0.elapsed().as_nanos() as u64,
+                );
                 obs::count_block_alg4::<T>(d1, csr.ncols(), csr.nnz(), rows_hit);
             }
         }
@@ -212,6 +227,7 @@ where
         while i < d {
             let d1 = cfg.b_d.min(d - i);
             let vv = &mut v[..d1];
+            let t0 = obskit::enabled().then(std::time::Instant::now);
             let mut rows_hit = 0usize;
             for j in 0..csr.nrows() {
                 let (cols, vals) = csr.row(j);
@@ -228,7 +244,11 @@ where
                     }
                 }
             }
-            if obskit::enabled() {
+            if let Some(t0) = t0 {
+                obskit::hist_record_ns(
+                    "sketch/alg4_par_cols/block",
+                    t0.elapsed().as_nanos() as u64,
+                );
                 obs::count_block_alg4::<T>(d1, panel.len() / d, csr.nnz(), rows_hit);
             }
             i += cfg.b_d;

@@ -20,4 +20,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== rustfmt check =="
 cargo fmt --all -- --check
 
+echo "== benchgate self-check (record at smoke scale, compare back, expect pass) =="
+BENCHGATE_TMP="$(mktemp /tmp/benchgate_verify_XXXXXX.json)"
+trap 'rm -f "$BENCHGATE_TMP"' EXIT
+./target/release/benchgate record --quick --out "$BENCHGATE_TMP"
+# Generous --rel-tol: this exercises the record→parse→compare machinery and
+# the bitwise counter cross-check; it must not flake on hypervisor steal
+# (this host's noise can hit 2-3x — see EXPERIMENTS.md).
+./target/release/benchgate --against "$BENCHGATE_TMP" --rel-tol 2.0
+
 echo "verify: all checks passed"
