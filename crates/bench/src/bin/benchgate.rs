@@ -2,7 +2,10 @@
 //!
 //! ```text
 //! benchgate record [--out PATH] [--reps R] [--scale N] [--quick]
+//!                  [--obs-json PATH] [--trace-out PATH] [--trace-folded PATH]
 //! benchgate --against PATH [--reps R] [--rel-tol X] [--mad-k K] [--quick]
+//!                  [--obs-json PATH]
+//! benchgate list [--scale N] [--quick]
 //! ```
 //!
 //! `record` runs the fixed suite (kernels + solvers, see `bench::gate`) and
@@ -10,26 +13,42 @@
 //! full run manifest. `--against` re-runs the suite at the baseline's scale
 //! and compares per-scenario medians with the noise-aware threshold
 //! `max(rel_tol·median, k·MAD)`, cross-checking that the deterministic work
-//! counters are bitwise identical (perf drift vs work drift).
+//! counters are bitwise identical (perf drift vs work drift). `list` prints
+//! the scenario suite (name, kernel, shape) without running anything.
+//!
+//! `--obs-json PATH` (or `SKETCH_OBS_JSON`) exports the suite's telemetry —
+//! one repetition of every scenario, the manifest-counters convention — as
+//! JSONL with the same truncate-on-write sink semantics as `repro` and
+//! `sketchprof`. `--trace-out` / `--trace-folded` (record mode) arm the
+//! flight recorder for the whole suite run and drain it like `repro` does:
+//! Perfetto JSON, collapsed stacks + SVG flamegraph, and the slowest-blocks
+//! anomaly table.
 //!
 //! Exit codes: 0 pass, 1 regression / work drift, 2 usage or I/O error.
 //!
 //! Test hook: `BENCHGATE_SLOWDOWN_NS=<ns>` busy-waits that long inside every
 //! timed repetition, letting the verify script prove the gate trips.
 
-use bench::gate::{compare, print_deltas, record_baseline, run_suite, Baseline, GateConfig};
+use bench::gate::{
+    compare, print_deltas, print_suite, record_baseline_with_snapshot, run_suite_with_snapshot,
+    Baseline, GateConfig,
+};
+use bench::tracecli::TraceOpts;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  benchgate record [--out PATH] [--reps R] [--scale N] [--quick]\n  \
-         benchgate --against PATH [--reps R] [--rel-tol X] [--mad-k K] [--quick]"
+        "usage:\n  benchgate record [--out PATH] [--reps R] [--scale N] [--quick] \
+         [--obs-json PATH] [--trace-out PATH] [--trace-folded PATH]\n  \
+         benchgate --against PATH [--reps R] [--rel-tol X] [--mad-k K] [--quick] [--obs-json PATH]\n  \
+         benchgate list [--scale N] [--quick]"
     );
     ExitCode::from(2)
 }
 
 struct Cli {
     record: bool,
+    list: bool,
     against: Option<String>,
     out: Option<String>,
     reps: Option<usize>,
@@ -37,11 +56,14 @@ struct Cli {
     rel_tol: Option<f64>,
     mad_k: Option<f64>,
     quick: bool,
+    obs_json: Option<String>,
+    trace: TraceOpts,
 }
 
 fn parse_cli(args: &[String]) -> Option<Cli> {
     let mut cli = Cli {
         record: false,
+        list: false,
         against: None,
         out: None,
         reps: None,
@@ -49,11 +71,14 @@ fn parse_cli(args: &[String]) -> Option<Cli> {
         rel_tol: None,
         mad_k: None,
         quick: false,
+        obs_json: None,
+        trace: TraceOpts::default(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "record" => cli.record = true,
+            "list" => cli.list = true,
             "--against" => cli.against = Some(it.next()?.clone()),
             "--out" => cli.out = Some(it.next()?.clone()),
             "--reps" => cli.reps = Some(it.next()?.parse().ok()?),
@@ -61,13 +86,31 @@ fn parse_cli(args: &[String]) -> Option<Cli> {
             "--rel-tol" => cli.rel_tol = Some(it.next()?.parse().ok()?),
             "--mad-k" => cli.mad_k = Some(it.next()?.parse().ok()?),
             "--quick" => cli.quick = true,
+            "--obs-json" => cli.obs_json = Some(it.next()?.clone()),
+            "--trace-out" => cli.trace.out = Some(it.next()?.clone()),
+            "--trace-folded" => cli.trace.folded = Some(it.next()?.clone()),
             _ => return None,
         }
     }
-    if cli.record == cli.against.is_some() {
+    let modes = cli.record as usize + cli.list as usize + usize::from(cli.against.is_some());
+    if modes != 1 {
         return None; // exactly one mode
     }
+    if cli.trace.active() && !cli.record {
+        return None; // tracing captures a suite run; only `record` has one
+    }
     Some(cli)
+}
+
+// Write the suite's merged telemetry snapshot to the resolved JSONL sink
+// (CLI beats SKETCH_OBS_JSON; truncate-on-write — identical semantics to
+// `repro` / `sketchprof`, which share `obskit::resolve_json_sink`).
+fn write_obs_json(cli_path: Option<String>, snap: &obskit::Snapshot) -> std::io::Result<()> {
+    if let Some(path) = obskit::resolve_json_sink(cli_path) {
+        snap.write_jsonl(&path)?;
+        println!("telemetry JSONL written to {path}");
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -101,6 +144,11 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+
+    if cli.list {
+        print_suite(cfg.scale);
+        return ExitCode::SUCCESS;
     }
 
     if let Some(path) = cli.against {
@@ -139,7 +187,7 @@ fn main() -> ExitCode {
             "benchgate: comparing against {path} (git {}, recorded scale 1/{}, {} reps, rel_tol {:.0}%, mad_k {})",
             base.manifest.git_sha, cfg.scale, cfg.reps, cfg.rel_tol * 100.0, cfg.mad_k
         );
-        let current = match run_suite(&cfg) {
+        let (current, snap) = match run_suite_with_snapshot(&cfg) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("benchgate: {e}");
@@ -148,6 +196,10 @@ fn main() -> ExitCode {
         };
         let (deltas, fail) = compare(&base, &current, &cfg);
         print_deltas(&deltas);
+        if let Err(e) = write_obs_json(cli.obs_json, &snap) {
+            eprintln!("benchgate: cannot write telemetry JSONL: {e}");
+            return ExitCode::from(2);
+        }
         if fail {
             eprintln!("benchgate: FAIL — regression, work drift, or missing scenario (see table)");
             ExitCode::from(1)
@@ -156,7 +208,8 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
     } else {
-        let base = match record_baseline(&cfg) {
+        cli.trace.arm();
+        let (base, snap) = match record_baseline_with_snapshot(&cfg) {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("benchgate: {e}");
@@ -186,6 +239,14 @@ fn main() -> ExitCode {
             base.manifest.scale,
             base.scenarios.len()
         );
+        if let Err(e) = write_obs_json(cli.obs_json, &snap) {
+            eprintln!("benchgate: cannot write telemetry JSONL: {e}");
+            return ExitCode::from(2);
+        }
+        if let Err(e) = cli.trace.finish() {
+            eprintln!("benchgate: cannot write trace outputs: {e}");
+            return ExitCode::from(2);
+        }
         ExitCode::SUCCESS
     }
 }

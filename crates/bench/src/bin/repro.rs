@@ -29,12 +29,20 @@
 //! writes the run's telemetry — span timings, sample/seek/byte counters,
 //! solver and traffic events — as JSONL when the run finishes; the human
 //! summary prints either way unless telemetry is off (`SKETCH_OBS=0`).
+//!
+//! `--trace-out PATH` arms the flight recorder (`obskit::trace`) for the
+//! whole run and writes a Chrome Trace Event / Perfetto JSON timeline at
+//! exit; `--trace-folded PATH` writes collapsed flamegraph stacks plus a
+//! self-contained SVG at `PATH.svg`. Either flag also prints the ranked
+//! slowest-blocks anomaly table (measured vs traffic-model latency).
 
+use bench::tracecli::TraceOpts;
 use bench::{extensions, figures, solvers, tables, RunConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [table1..table9|fig4|fig5|fig6|roofline|junk|stream|smoke|kernelchoice|minnorm|distortion|all] [--scale N] [--reps N] [--threads N] [--obs-json PATH]"
+        "usage: repro [table1..table9|fig4|fig5|fig6|roofline|junk|stream|smoke|kernelchoice|minnorm|distortion|all] \
+         [--scale N] [--reps N] [--threads N] [--obs-json PATH] [--trace-out PATH] [--trace-folded PATH]"
     );
     std::process::exit(2)
 }
@@ -50,6 +58,7 @@ fn main() {
     };
     let mut rc = RunConfig::default();
     let mut obs_json_cli: Option<String> = None;
+    let mut trace = TraceOpts::default();
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
@@ -77,9 +86,18 @@ fn main() {
                 obs_json_cli = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
                 i += 2;
             }
+            "--trace-out" => {
+                trace.out = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--trace-folded" => {
+                trace.folded = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
             _ => usage(),
         }
     }
+    trace.arm();
 
     println!(
         "# repro {target} — scale 1/{}, reps {}, up to {} threads",
@@ -130,6 +148,10 @@ fn main() {
         _ => usage(),
     }
 
+    if let Err(e) = trace.finish() {
+        eprintln!("failed to write trace outputs: {e}");
+        std::process::exit(1);
+    }
     let sink = obskit::resolve_json_sink(obs_json_cli);
     if let Err(e) = obskit::emit_run_telemetry(sink.as_deref()) {
         eprintln!(

@@ -3,28 +3,39 @@
 //! noise; compare within one run only.
 //!
 //! `--obs-json PATH` (or `SKETCH_OBS_JSON`) exports the run's telemetry as
-//! JSONL, exactly like `repro`.
+//! JSONL, exactly like `repro`. `--trace-out PATH` / `--trace-folded PATH`
+//! arm the flight recorder and write a Perfetto timeline / flamegraph (plus
+//! the slowest-blocks anomaly table), also exactly like `repro`.
+
+fn usage() -> ! {
+    eprintln!("usage: sketchprof [--obs-json PATH] [--trace-out PATH] [--trace-folded PATH]");
+    std::process::exit(2);
+}
 
 fn main() {
     use rngkit::{FastRng, UnitUniform};
     use sketchcore::{sketch_alg3, sketch_alg3_par_cols, SketchConfig};
     let mut args = std::env::args().skip(1);
     let mut obs_json_cli: Option<String> = None;
+    let mut trace = bench::tracecli::TraceOpts::default();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--obs-json" => match args.next() {
                 Some(path) => obs_json_cli = Some(path),
-                None => {
-                    eprintln!("usage: sketchprof [--obs-json PATH]");
-                    std::process::exit(2);
-                }
+                None => usage(),
             },
-            _ => {
-                eprintln!("usage: sketchprof [--obs-json PATH]");
-                std::process::exit(2);
-            }
+            "--trace-out" => match args.next() {
+                Some(path) => trace.out = Some(path),
+                None => usage(),
+            },
+            "--trace-folded" => match args.next() {
+                Some(path) => trace.folded = Some(path),
+                None => usage(),
+            },
+            _ => usage(),
         }
     }
+    trace.arm();
     let suite = datagen::lsq_suite(8);
     let p = &suite[1]; // spal_004
     let a = &p.a;
@@ -61,6 +72,10 @@ fn main() {
             "b_d={b_d:5} b_n={b_n:4}: seq {dt:.3}s ({:.2} ns/sample)  par_cols {dt2:.3}s",
             dt / samples * 1e9
         );
+    }
+    if let Err(e) = trace.finish() {
+        eprintln!("failed to write trace outputs: {e}");
+        std::process::exit(1);
     }
     let sink = obskit::resolve_json_sink(obs_json_cli);
     if let Err(e) = obskit::emit_run_telemetry(sink.as_deref()) {

@@ -1,0 +1,239 @@
+//! Self-contained SVG flamegraph writer.
+//!
+//! Renders collapsed-stack lines (the output of
+//! [`obskit::trace::TraceCapture::folded`]: one `path;path;path <self-ns>`
+//! per line) as an icicle-layout flamegraph — root on top, frame width
+//! proportional to total time — with no external tooling, in the same
+//! spirit as the repo's hand-rolled JSON: trace visualisation must work
+//! fully offline. Each frame is colored by a stable hash of its name (the
+//! same frame keeps its color across runs, which makes two SVGs visually
+//! diffable) over the classic warm flamegraph palette, and carries a
+//! `<title>` tooltip with exact self/total nanoseconds, so the file is
+//! explorable in any browser.
+
+use std::fmt::Write as _;
+
+/// Canvas width in px.
+const WIDTH: f64 = 1200.0;
+/// Frame-row height in px.
+const ROW_H: f64 = 16.0;
+/// Outer margin in px.
+const PAD: f64 = 10.0;
+/// Vertical space reserved for the title line, in px.
+const TITLE_H: f64 = 24.0;
+/// Frames narrower than this many px are culled (children are at most as
+/// wide, so the whole subtree vanishes with them).
+const MIN_W: f64 = 0.25;
+/// Approximate glyph advance of the embedded monospace font, px.
+const CHAR_W: f64 = 7.2;
+
+struct Node {
+    name: String,
+    self_ns: u64,
+    children: Vec<Node>,
+}
+
+impl Node {
+    fn child(&mut self, name: &str) -> &mut Node {
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            &mut self.children[i]
+        } else {
+            self.children.push(Node {
+                name: name.to_string(),
+                self_ns: 0,
+                children: Vec::new(),
+            });
+            self.children.last_mut().unwrap()
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.self_ns + self.children.iter().map(Node::total).sum::<u64>()
+    }
+
+    fn depth(&self) -> usize {
+        1 + self.children.iter().map(Node::depth).max().unwrap_or(0)
+    }
+}
+
+fn parse_folded(folded: &str) -> Node {
+    let mut root = Node {
+        name: "all".to_string(),
+        self_ns: 0,
+        children: Vec::new(),
+    };
+    for line in folded.lines() {
+        let line = line.trim();
+        let Some((stack, val)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(v) = val.parse::<u64>() else { continue };
+        let mut cur = &mut root;
+        for frame in stack.split(';') {
+            cur = cur.child(frame);
+        }
+        cur.self_ns += v;
+    }
+    root
+}
+
+// Stable FNV-1a hash of the frame name onto the warm flamegraph palette
+// (reds through yellows), so color identifies a frame, not its position.
+fn color(name: &str) -> (u8, u8, u8) {
+    let mut h: u32 = 2166136261;
+    for b in name.bytes() {
+        h ^= b as u32;
+        h = h.wrapping_mul(16777619);
+    }
+    let r = 205 + (h % 50) as u8;
+    let g = 60 + ((h >> 8) % 120) as u8;
+    let b = ((h >> 16) % 55) as u8;
+    (r, g, b)
+}
+
+fn xml_escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn emit(out: &mut String, node: &Node, x: f64, row: usize, root_total: u64, scale: f64) {
+    let total = node.total();
+    let w = total as f64 * scale;
+    if w < MIN_W {
+        return;
+    }
+    let y = PAD + TITLE_H + row as f64 * ROW_H;
+    let (r, g, b) = color(&node.name);
+    let pct = 100.0 * total as f64 / root_total as f64;
+    out.push_str("<g><title>");
+    xml_escape(out, &node.name);
+    let _ = write!(
+        out,
+        " — self {} ns, total {} ns ({:.1}%)</title>",
+        node.self_ns, total, pct
+    );
+    let _ = write!(
+        out,
+        "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{:.2}\" height=\"{:.1}\" \
+         fill=\"rgb({r},{g},{b})\" rx=\"1\" stroke=\"white\" stroke-width=\"0.5\"/>",
+        w,
+        ROW_H - 1.0
+    );
+    let max_chars = (w / CHAR_W) as usize;
+    if max_chars >= 3 {
+        let label: String = if node.name.chars().count() > max_chars {
+            let mut s: String = node.name.chars().take(max_chars - 2).collect();
+            s.push_str("..");
+            s
+        } else {
+            node.name.clone()
+        };
+        let _ = write!(
+            out,
+            "<text x=\"{:.2}\" y=\"{:.2}\" font-size=\"11\" font-family=\"monospace\" fill=\"#222\">",
+            x + 3.0,
+            y + ROW_H - 4.5
+        );
+        xml_escape(out, &label);
+        out.push_str("</text>");
+    }
+    out.push_str("</g>\n");
+    let mut cx = x;
+    for c in &node.children {
+        emit(out, c, cx, row + 1, root_total, scale);
+        cx += c.total() as f64 * scale;
+    }
+}
+
+/// Render folded flamegraph lines as a self-contained SVG (icicle layout,
+/// root on top). Empty or unparsable input yields a valid SVG that says so
+/// rather than an error — the flamegraph is a diagnostic artifact and should
+/// never fail the run that produced it.
+pub fn folded_to_svg(folded: &str, title: &str) -> String {
+    let root = parse_folded(folded);
+    let total = root.total();
+    let rows = if total > 0 { root.depth() } else { 1 };
+    let height = 2.0 * PAD + TITLE_H + rows as f64 * ROW_H;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {WIDTH} {height:.0}\">"
+    );
+    let _ = writeln!(
+        out,
+        "<rect x=\"0\" y=\"0\" width=\"{WIDTH}\" height=\"{height:.0}\" fill=\"#fdfdfd\"/>"
+    );
+    out.push_str(
+        "<text x=\"10\" y=\"22\" font-size=\"14\" font-family=\"monospace\" fill=\"#333\">",
+    );
+    xml_escape(&mut out, title);
+    out.push_str("</text>\n");
+    if total == 0 {
+        out.push_str(
+            "<text x=\"10\" y=\"48\" font-size=\"12\" font-family=\"monospace\" \
+             fill=\"#777\">no samples</text>\n",
+        );
+    } else {
+        let scale = (WIDTH - 2.0 * PAD) / total as f64;
+        emit(&mut out, &root, PAD, 0, total, scale);
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_stacks_with_proportional_rects() {
+        let svg = folded_to_svg("a 70\na;b 30\n", "test graph");
+        assert!(svg.starts_with("<svg"), "not an svg:\n{svg}");
+        assert!(svg.ends_with("</svg>\n"));
+        // Root "all" + frames a and b.
+        assert_eq!(svg.matches("<rect").count(), 1 + 3, "bg + 3 frame rects");
+        assert!(svg.contains("test graph"));
+        // Tooltips carry exact self/total ns.
+        assert!(svg.contains("a — self 70 ns, total 100 ns (100.0%)"));
+        assert!(svg.contains("b — self 30 ns, total 30 ns (30.0%)"));
+        // b's rect is 30% of the usable width.
+        let usable = WIDTH - 2.0 * PAD;
+        assert!(svg.contains(&format!("width=\"{:.2}\"", 0.30 * usable)));
+    }
+
+    #[test]
+    fn empty_and_garbage_inputs_yield_valid_svg() {
+        for input in ["", "not a folded line", "a nonnumeric"] {
+            let svg = folded_to_svg(input, "t");
+            assert!(svg.starts_with("<svg") && svg.ends_with("</svg>\n"));
+            assert!(svg.contains("no samples"), "for input {input:?}");
+        }
+    }
+
+    #[test]
+    fn colors_are_stable_and_in_palette() {
+        assert_eq!(color("sketch/alg3"), color("sketch/alg3"));
+        for name in ["a", "sketch/alg3/block", "lstsq/lsqr/iter"] {
+            let (r, g, b) = color(name);
+            assert!((205..=254).contains(&r));
+            assert!((60..=179).contains(&g));
+            assert!(b <= 54);
+        }
+    }
+
+    #[test]
+    fn escapes_xml_in_names_and_title() {
+        let svg = folded_to_svg("a<b>&\"c\" 10\n", "<title> & \"quotes\"");
+        assert!(!svg.contains("<b>"));
+        assert!(svg.contains("a&lt;b&gt;&amp;&quot;c&quot;"));
+        assert!(svg.contains("&lt;title&gt; &amp; &quot;quotes&quot;"));
+    }
+}

@@ -84,11 +84,19 @@ impl Default for GateConfig {
 pub struct Scenario {
     /// Stable identifier; the comparison key between runs.
     pub name: &'static str,
+    /// Kernel or solver the scenario exercises (`benchgate list` metadata).
+    pub kernel: &'static str,
+    /// Operand shape at the current scale (`rows×cols nnz N`).
+    pub shape: String,
     run: Box<dyn Fn()>,
 }
 
 fn div(x: usize, scale: usize) -> usize {
     (x / scale.max(1)).max(8)
+}
+
+fn shape_of<T: sparsekit::Scalar>(a: &sparsekit::CscMatrix<T>) -> String {
+    format!("{}×{} nnz {}", a.nrows(), a.ncols(), a.nnz())
 }
 
 /// The fixed scenario suite at `1/scale` of the gate's full sizes. All data
@@ -107,6 +115,8 @@ pub fn suite(scale: usize) -> Vec<Scenario> {
         let (a, cfg) = (a_tall.clone(), cfg3);
         out.push(Scenario {
             name: "alg3_tall",
+            kernel: "alg3",
+            shape: shape_of(&a),
             run: Box::new(move || {
                 let s = UnitUniform::<f64>::sampler(FastRng::new(cfg.seed));
                 std::hint::black_box(sketch_alg3(&a, &cfg, &s));
@@ -126,6 +136,8 @@ pub fn suite(scale: usize) -> Vec<Scenario> {
         let cfg = SketchConfig::new(d, 512.min(d), 128.min(a.ncols()), SUITE_SEED + 1);
         out.push(Scenario {
             name: "alg3_square",
+            kernel: "alg3",
+            shape: shape_of(&a),
             run: Box::new(move || {
                 let s = UnitUniform::<f64>::sampler(FastRng::new(cfg.seed));
                 std::hint::black_box(sketch_alg3(&a, &cfg, &s));
@@ -138,6 +150,8 @@ pub fn suite(scale: usize) -> Vec<Scenario> {
         let (a, cfg) = (a_tall.clone(), cfg3);
         out.push(Scenario {
             name: "alg3_signs",
+            kernel: "alg3_signs",
+            shape: shape_of(&a),
             run: Box::new(move || {
                 let s = Rademacher::<i8>::sampler(FastRng::new(cfg.seed));
                 std::hint::black_box(sketch_alg3_signs(&a, &cfg, &s));
@@ -151,6 +165,8 @@ pub fn suite(scale: usize) -> Vec<Scenario> {
         let cfg = cfg3;
         out.push(Scenario {
             name: "alg4_tall",
+            kernel: "alg4",
+            shape: shape_of(&a_tall),
             run: Box::new(move || {
                 let s = UnitUniform::<f64>::sampler(FastRng::new(cfg.seed));
                 std::hint::black_box(sketch_alg4(&blocked, &cfg, &s));
@@ -171,6 +187,8 @@ pub fn suite(scale: usize) -> Vec<Scenario> {
         let (a, b) = (a_lsq.clone(), b_lsq.clone());
         out.push(Scenario {
             name: "lsqr_iter",
+            kernel: "lsqr_d",
+            shape: shape_of(&a),
             run: Box::new(move || {
                 let opts = LsqrOptions {
                     atol: 1e-12,
@@ -187,6 +205,8 @@ pub fn suite(scale: usize) -> Vec<Scenario> {
         let (a, b) = (a_lsq.clone(), b_lsq.clone());
         out.push(Scenario {
             name: "lsmr_iter",
+            kernel: "lsmr",
+            shape: shape_of(&a),
             run: Box::new(move || {
                 let mut op = CscOp::new(&a);
                 let opts = LsmrOptions::default();
@@ -200,6 +220,8 @@ pub fn suite(scale: usize) -> Vec<Scenario> {
         let (a, b) = (a_lsq, b_lsq);
         out.push(Scenario {
             name: "sap_e2e",
+            kernel: "sap(qr)+lsqr",
+            shape: shape_of(&a),
             run: Box::new(move || {
                 let opts = SapOptions {
                     gamma: 2,
@@ -215,6 +237,21 @@ pub fn suite(scale: usize) -> Vec<Scenario> {
     }
 
     out
+}
+
+/// Print the scenario suite as a table — the `benchgate list` subcommand.
+/// Shapes are evaluated at `1/scale` of the full gate sizes, so `list
+/// --quick` shows exactly what `record --quick` would run.
+pub fn print_suite(scale: usize) {
+    let rows: Vec<Vec<String>> = suite(scale)
+        .iter()
+        .map(|sc| vec![sc.name.to_string(), sc.kernel.to_string(), sc.shape.clone()])
+        .collect();
+    print_table(
+        &format!("benchgate suite at scale 1/{}", scale.max(1)),
+        &["scenario", "kernel", "shape"],
+        &rows,
+    );
 }
 
 /// Percentile summary of one latency histogram, as stored in the baseline.
@@ -321,6 +358,16 @@ fn busy_wait_ns(ns: u64) {
 /// back-to-back runs report identical totals). Returns an error when the
 /// deterministic counters differ between repetitions.
 pub fn run_scenario(sc: &Scenario, cfg: &GateConfig) -> Result<ScenarioResult, String> {
+    run_scenario_acc(sc, cfg, None)
+}
+
+// As `run_scenario`, additionally folding the first repetition's telemetry
+// snapshot into `acc` (the `--obs-json` export path).
+fn run_scenario_acc(
+    sc: &Scenario,
+    cfg: &GateConfig,
+    mut acc: Option<&mut obskit::Snapshot>,
+) -> Result<ScenarioResult, String> {
     let mut reps_ns = Vec::with_capacity(cfg.reps);
     let mut counters: Option<[u64; NCTR]> = None;
     let mut hists: Vec<HistSummary> = Vec::new();
@@ -348,6 +395,9 @@ pub fn run_scenario(sc: &Scenario, cfg: &GateConfig) -> Result<ScenarioResult, S
                         mad_ns: h.mad(),
                     })
                     .collect();
+                if let Some(acc) = acc.as_deref_mut() {
+                    merge_snapshot(acc, &snap);
+                }
             }
             Some(first) => {
                 if *first != snap.counters {
@@ -373,18 +423,71 @@ pub fn run_scenario(sc: &Scenario, cfg: &GateConfig) -> Result<ScenarioResult, S
     })
 }
 
+// Fold snapshot `s` into `acc`: counters add, spans add per path, histograms
+// merge per path (exact — see `Hist::merge`), events concatenate. Used to
+// build the suite-wide telemetry export out of per-scenario snapshots that
+// `run_scenario`'s reset-between-reps discipline would otherwise discard.
+fn merge_snapshot(acc: &mut obskit::Snapshot, s: &obskit::Snapshot) {
+    for (slot, v) in s.counters.iter().enumerate() {
+        acc.counters[slot] += v;
+    }
+    for (path, st) in &s.spans {
+        match acc.spans.iter_mut().find(|(p, _)| p == path) {
+            Some((_, e)) => {
+                e.ns += st.ns;
+                e.calls += st.calls;
+            }
+            None => acc.spans.push((path.clone(), *st)),
+        }
+    }
+    for (path, h) in &s.hists {
+        match acc.hists.iter_mut().find(|(p, _)| p == path) {
+            Some((_, e)) => e.merge(h),
+            None => acc.hists.push((path.clone(), h.clone())),
+        }
+    }
+    acc.events.extend(s.events.iter().cloned());
+    acc.dropped_events += s.dropped_events;
+}
+
 /// Run the whole suite at `cfg` (telemetry forced on for the duration so
 /// counters and histograms are recorded; the prior gate state is restored).
 pub fn run_suite(cfg: &GateConfig) -> Result<Vec<ScenarioResult>, String> {
+    Ok(run_suite_with_snapshot(cfg)?.0)
+}
+
+/// As [`run_suite`], additionally returning the merged telemetry snapshot of
+/// **one repetition of every scenario** — the same convention as the
+/// manifest's whole-suite counters. This is what `benchgate --obs-json`
+/// exports: `run_scenario` resets the registry between repetitions, so the
+/// registry itself never holds more than the last repetition.
+pub fn run_suite_with_snapshot(
+    cfg: &GateConfig,
+) -> Result<(Vec<ScenarioResult>, obskit::Snapshot), String> {
     let was = obskit::enabled();
     obskit::set_enabled(true);
-    let result = suite(cfg.scale)
-        .iter()
-        .map(|sc| run_scenario(sc, cfg))
-        .collect();
+    let mut acc = obskit::Snapshot::default();
+    let mut results = Vec::new();
+    let mut err = None;
+    for sc in suite(cfg.scale) {
+        match run_scenario_acc(&sc, cfg, Some(&mut acc)) {
+            Ok(r) => results.push(r),
+            Err(e) => {
+                err = Some(e);
+                break;
+            }
+        }
+    }
     obskit::set_enabled(was);
     obskit::reset();
-    result
+    match err {
+        Some(e) => Err(e),
+        None => {
+            acc.spans.sort_by(|a, b| a.0.cmp(&b.0));
+            acc.hists.sort_by(|a, b| a.0.cmp(&b.0));
+            Ok((results, acc))
+        }
+    }
 }
 
 /// Calibration pass for the manifest: sketch the suite's tall operand with
@@ -435,7 +538,15 @@ pub fn git_sha() -> String {
 /// Record a full baseline: run the suite, the traffic calibration, and
 /// assemble the manifest.
 pub fn record_baseline(cfg: &GateConfig) -> Result<Baseline, String> {
-    let scenarios = run_suite(cfg)?;
+    Ok(record_baseline_with_snapshot(cfg)?.0)
+}
+
+/// As [`record_baseline`], additionally returning the suite's merged
+/// telemetry snapshot (see [`run_suite_with_snapshot`]) for `--obs-json`.
+pub fn record_baseline_with_snapshot(
+    cfg: &GateConfig,
+) -> Result<(Baseline, obskit::Snapshot), String> {
+    let (scenarios, snap) = run_suite_with_snapshot(cfg)?;
     let mut counters = [0u64; NCTR];
     for sc in &scenarios {
         for (slot, v) in sc.counters.iter().enumerate() {
@@ -463,11 +574,14 @@ pub fn record_baseline(cfg: &GateConfig) -> Result<Baseline, String> {
         counters,
         traffic_ratios: traffic_calibration(cfg.scale),
     };
-    Ok(Baseline {
-        schema: SCHEMA_VERSION,
-        manifest,
-        scenarios,
-    })
+    Ok((
+        Baseline {
+            schema: SCHEMA_VERSION,
+            manifest,
+            scenarios,
+        },
+        snap,
+    ))
 }
 
 // --- JSON (de)serialization --------------------------------------------
@@ -976,5 +1090,51 @@ mod tests {
         dedup.dedup();
         assert_eq!(names.len(), dedup.len());
         assert!(names.len() >= 5, "suite must cover kernels and solvers");
+    }
+
+    #[test]
+    fn suite_metadata_is_populated() {
+        for sc in suite(16) {
+            assert!(!sc.kernel.is_empty(), "{} has no kernel", sc.name);
+            assert!(
+                sc.shape.contains('×') && sc.shape.contains("nnz"),
+                "{} has malformed shape {:?}",
+                sc.name,
+                sc.shape
+            );
+        }
+        print_suite(16); // must not panic
+    }
+
+    #[test]
+    fn merge_snapshot_adds_counters_spans_and_hists() {
+        use obskit::{Hist, SpanStat};
+        let mut acc = obskit::Snapshot::default();
+        let mut h1 = Hist::new();
+        h1.record(100);
+        let s1 = obskit::Snapshot {
+            spans: vec![("a".into(), SpanStat { ns: 10, calls: 1 })],
+            hists: vec![("h".into(), h1.clone())],
+            counters: {
+                let mut c = [0; NCTR];
+                c[Ctr::Samples as usize] = 5;
+                c
+            },
+            events: vec![],
+            dropped_events: 1,
+        };
+        merge_snapshot(&mut acc, &s1);
+        merge_snapshot(&mut acc, &s1);
+        assert_eq!(acc.counters[Ctr::Samples as usize], 10);
+        assert_eq!(acc.spans[0].1, SpanStat { ns: 20, calls: 2 });
+        assert_eq!(acc.hists[0].1.count(), 2);
+        assert_eq!(acc.dropped_events, 2);
+        // A second path lands as its own entry.
+        let s2 = obskit::Snapshot {
+            spans: vec![("b".into(), SpanStat { ns: 7, calls: 1 })],
+            ..obskit::Snapshot::default()
+        };
+        merge_snapshot(&mut acc, &s2);
+        assert_eq!(acc.spans.len(), 2);
     }
 }

@@ -15,10 +15,12 @@
 
 pub mod extensions;
 pub mod figures;
+pub mod flame;
 pub mod gate;
 pub mod json;
 pub mod solvers;
 pub mod tables;
+pub mod tracecli;
 
 use std::time::Instant;
 

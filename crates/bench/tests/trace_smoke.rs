@@ -1,0 +1,107 @@
+//! In-process end-to-end smoke of the flight recorder: arm tracing, run a
+//! real Algorithm 3 sketch, and check every drain — annotated block
+//! records, balanced Chrome/Perfetto JSON (parsed with the crate's own
+//! parser, the same one `benchgate` trusts for baselines), collapsed
+//! flamegraph stacks, the SVG renderer, and the anomaly attributor.
+//!
+//! Single test function on purpose: the recorder is process-global and the
+//! test harness runs functions in one binary concurrently.
+
+use bench::json;
+use rngkit::{FastRng, UnitUniform};
+use sketchcore::{sketch_alg3, SketchConfig};
+
+#[test]
+fn armed_recorder_captures_a_real_sketch_end_to_end() {
+    obskit::trace::set_enabled(true);
+    let _ = obskit::trace::take(); // drop residue from any earlier arming
+
+    let a = datagen::uniform_random::<f64>(2_000, 256, 1e-2, 7);
+    let cfg = SketchConfig::new(2 * a.ncols(), 128, 64, 7);
+    let sampler = UnitUniform::<f64>::sampler(FastRng::new(cfg.seed));
+    let x = sketch_alg3(&a, &cfg, &sampler);
+    std::hint::black_box(&x);
+
+    obskit::trace::set_enabled(false);
+    let cap = obskit::trace::take();
+    assert!(!cap.is_empty(), "armed run captured nothing");
+    assert_eq!(cap.dropped, 0, "small run must fit the ring");
+
+    // Block annotations: every (i-panel, j-panel) outer block, each carrying
+    // the real shape and traffic numbers.
+    let blocks = cap.block_records();
+    let d_blocks = cfg.d.div_ceil(cfg.b_d);
+    let n_blocks = a.ncols().div_ceil(cfg.b_n);
+    assert_eq!(blocks.len(), d_blocks * n_blocks);
+    let nnz_sum: u64 = blocks.iter().map(|b| b.nnz).sum();
+    assert_eq!(
+        nnz_sum,
+        (d_blocks * a.nnz()) as u64,
+        "each d-panel streams all of A once"
+    );
+    for b in &blocks {
+        assert_eq!(b.path, "sketch/alg3/block");
+        assert!(b.bytes > 0, "block with zero traffic: {b:?}");
+        assert!(
+            b.cost >= b.bytes,
+            "model cost must include the traffic term"
+        );
+    }
+
+    // Chrome export: balanced B/E, valid JSON by our own parser, per-block
+    // args present.
+    let chrome = cap.chrome_json();
+    assert_eq!(
+        chrome.matches("\"ph\":\"B\"").count(),
+        chrome.matches("\"ph\":\"E\"").count(),
+        "unbalanced span pairs"
+    );
+    let doc = json::parse(&chrome).expect("chrome_json must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(events.len() > 2 * blocks.len());
+    let block_closes = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("E")
+                && e.get("args").and_then(|a| a.get("nnz")).is_some()
+        })
+        .count();
+    assert_eq!(block_closes, blocks.len());
+    for e in events {
+        let Some(args) = e.get("args") else { continue };
+        if args.get("nnz").is_none() {
+            continue;
+        }
+        for key in ["nnz", "bytes", "model_ns", "dur_ns", "cost"] {
+            assert!(
+                args.get(key).and_then(|v| v.as_u64()).is_some(),
+                "block close missing numeric arg {key}"
+            );
+        }
+    }
+
+    // Flamegraph drains: collapsed stacks name the kernel, and the SVG
+    // renderer produces a self-contained document from them.
+    let folded = cap.folded();
+    assert!(
+        folded.contains("sketch/alg3"),
+        "no kernel stack in:\n{folded}"
+    );
+    for line in folded.lines() {
+        let (_, v) = line.rsplit_once(' ').expect("stack <self-ns> shape");
+        v.parse::<u64>().expect("self-ns must be an integer");
+    }
+    let svg = bench::flame::folded_to_svg(&folded, "smoke");
+    assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
+    assert!(svg.contains("sketch/alg3"));
+
+    // Attribution over the real blocks: one verdict per block, sorted
+    // slowest-first, and the table renders.
+    let attrs = obskit::trace::attribute(&blocks, bench::tracecli::REL_TOL, bench::tracecli::MAD_K);
+    assert_eq!(attrs.len(), blocks.len());
+    assert!(attrs.windows(2).all(|w| w[0].rec.dur_ns >= w[1].rec.dur_ns));
+    bench::tracecli::print_slowest_blocks(&attrs);
+}

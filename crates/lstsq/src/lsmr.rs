@@ -67,6 +67,7 @@ pub fn lsmr<A: LinOp>(op: &mut A, b: &[f64], opts: &LsmrOptions) -> LsmrResult {
     } else {
         0
     };
+    let tracing = obskit::trace_enabled();
     let m = op.nrows();
     let n = op.ncols();
     assert_eq!(b.len(), m, "rhs length mismatch");
@@ -117,7 +118,7 @@ pub fn lsmr<A: LinOp>(op: &mut A, b: &[f64], opts: &LsmrOptions) -> LsmrResult {
 
     while iters < opts.max_iters {
         iters += 1;
-        let t_it = (stride > 0).then(std::time::Instant::now);
+        let t_it = (stride > 0 || tracing).then(std::time::Instant::now);
 
         // Bidiagonalization continue.
         op.apply(&v, &mut scratch_m);
@@ -187,7 +188,20 @@ pub fn lsmr<A: LinOp>(op: &mut A, b: &[f64], opts: &LsmrOptions) -> LsmrResult {
         };
         let rel_atr = atr / (anorm2.sqrt() * rnorm).max(f64::MIN_POSITIVE);
         if let Some(t_it) = t_it {
-            obskit::hist_record_ns("lstsq/lsmr/iter", t_it.elapsed().as_nanos() as u64);
+            let dur_ns = t_it.elapsed().as_nanos() as u64;
+            if stride > 0 {
+                obskit::hist_record_ns("lstsq/lsmr/iter", dur_ns);
+            }
+            if tracing {
+                let end_ns = obskit::trace::now_ns();
+                obskit::trace::span_pair(
+                    "lstsq/lsmr/iter",
+                    end_ns.saturating_sub(dur_ns),
+                    end_ns,
+                    obskit::trace::TraceKind::IterEnd,
+                    [iters as u64, rel_atr.to_bits(), 0, 0, 0, 0],
+                );
+            }
         }
         let stopping = atr == 0.0 || atr <= opts.atol * anorm2.sqrt() * rnorm;
         let last = stopping || iters == opts.max_iters;

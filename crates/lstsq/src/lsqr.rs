@@ -84,6 +84,7 @@ pub fn lsqr<A: LinOp>(op: &mut A, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
     } else {
         0
     };
+    let tracing = obskit::trace_enabled();
     let m = op.nrows();
     let n = op.ncols();
     assert_eq!(b.len(), m, "rhs length mismatch");
@@ -132,7 +133,7 @@ pub fn lsqr<A: LinOp>(op: &mut A, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
 
     while iters < opts.max_iters {
         iters += 1;
-        let t_it = (stride > 0).then(std::time::Instant::now);
+        let t_it = (stride > 0 || tracing).then(std::time::Instant::now);
 
         // Bidiagonalization step: β·u = A·v − α·u.
         op.apply(&v, &mut scratch_m);
@@ -193,7 +194,20 @@ pub fn lsqr<A: LinOp>(op: &mut A, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
             None
         };
         if let Some(t_it) = t_it {
-            obskit::hist_record_ns("lstsq/lsqr/iter", t_it.elapsed().as_nanos() as u64);
+            let dur_ns = t_it.elapsed().as_nanos() as u64;
+            if stride > 0 {
+                obskit::hist_record_ns("lstsq/lsqr/iter", dur_ns);
+            }
+            if tracing {
+                let end_ns = obskit::trace::now_ns();
+                obskit::trace::span_pair(
+                    "lstsq/lsqr/iter",
+                    end_ns.saturating_sub(dur_ns),
+                    end_ns,
+                    obskit::trace::TraceKind::IterEnd,
+                    [iters as u64, rel_atr.to_bits(), 0, 0, 0, 0],
+                );
+            }
         }
         let last = stopping.is_some() || iters == opts.max_iters;
         if stride > 0 && (last || (iters as u64).is_multiple_of(stride)) {

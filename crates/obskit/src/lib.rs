@@ -41,6 +41,8 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+pub mod trace;
+
 /// Typed counters the kernels and solvers bump.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(usize)]
@@ -279,30 +281,79 @@ pub fn hist_record_ns(path: &'static str, ns: u64) {
 
 // --- gating ------------------------------------------------------------
 
-// 0 = uninitialized, 1 = disabled, 2 = enabled.
+// One byte holds every run-time gate so the kernels pay a single relaxed
+// atomic load per block no matter how many recorders exist: bit 0 marks the
+// byte initialized from the environment, bit 1 is the telemetry gate
+// (`SKETCH_OBS`), bit 2 the flight-recorder gate (`SKETCH_TRACE`).
+const GATE_INIT: u8 = 1;
+const GATE_OBS: u8 = 2;
+const GATE_TRACE: u8 = 4;
+
 static GATE: AtomicU8 = AtomicU8::new(0);
 
 #[cold]
-fn init_gate() -> bool {
-    let on = match std::env::var("SKETCH_OBS") {
+fn init_gate() -> u8 {
+    let mut g = GATE_INIT;
+    let obs_on = match std::env::var("SKETCH_OBS") {
         Ok(v) => !matches!(v.trim(), "0" | "off" | "false" | "no"),
         Err(_) => true,
     };
-    GATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
-    on
+    if obs_on {
+        g |= GATE_OBS;
+    }
+    // Tracing is opt-in (a flight recorder is for flagged runs), unlike the
+    // aggregate telemetry which is opt-out.
+    let trace_on = match std::env::var("SKETCH_TRACE") {
+        Ok(v) => matches!(v.trim(), "1" | "on" | "true" | "yes"),
+        Err(_) => false,
+    };
+    if trace_on {
+        g |= GATE_TRACE;
+    }
+    GATE.store(g, Ordering::Relaxed);
+    g
+}
+
+#[inline(always)]
+fn gate() -> u8 {
+    if !cfg!(feature = "obs") {
+        return GATE_INIT;
+    }
+    let g = GATE.load(Ordering::Relaxed);
+    if g & GATE_INIT != 0 {
+        g
+    } else {
+        init_gate()
+    }
+}
+
+// Set or clear one gate bit, initializing from the environment first so the
+// other bits are preserved. Gate writers are test harnesses and CLI startup;
+// a racing writer can only lose its own update, never corrupt another bit's
+// source of truth beyond that.
+fn store_gate_bit(bit: u8, on: bool) {
+    let g = gate();
+    GATE.store(if on { g | bit } else { g & !bit }, Ordering::Relaxed);
 }
 
 /// Is telemetry recording on? One relaxed atomic load on the hot path.
 #[inline(always)]
 pub fn enabled() -> bool {
-    if !cfg!(feature = "obs") {
-        return false;
-    }
-    match GATE.load(Ordering::Relaxed) {
-        2 => true,
-        1 => false,
-        _ => init_gate(),
-    }
+    gate() & GATE_OBS != 0
+}
+
+/// Is flight-recorder tracing on (see [`trace`])? One relaxed atomic load.
+#[inline(always)]
+pub fn trace_enabled() -> bool {
+    gate() & GATE_TRACE != 0
+}
+
+/// Is *any* recorder (aggregate telemetry or the flight recorder) on?
+/// The kernels check this once per block — still a single relaxed atomic
+/// load, because both gates share one byte.
+#[inline(always)]
+pub fn any_enabled() -> bool {
+    gate() & (GATE_OBS | GATE_TRACE) != 0
 }
 
 /// Crate version, for embedding in run manifests.
@@ -314,8 +365,9 @@ pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 pub const OBS_COMPILED: bool = cfg!(feature = "obs");
 
 /// Override the `SKETCH_OBS` gate programmatically (tests, harnesses).
+/// The flight-recorder gate ([`trace::set_enabled`]) is left untouched.
 pub fn set_enabled(on: bool) {
-    GATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    store_gate_bit(GATE_OBS, on);
 }
 
 /// Process epoch for event timestamps (first telemetry touch).
@@ -387,6 +439,7 @@ struct Local {
     counters: [u64; NCTR],
     spans: HashMap<&'static str, SpanStat>,
     hists: HashMap<&'static str, Hist>,
+    ring: Option<trace::TraceRing>,
 }
 
 impl Local {
@@ -411,6 +464,9 @@ impl Local {
             for (path, h) in self.hists.drain() {
                 g.entry(path).or_default().merge(&h);
             }
+        }
+        if let Some(ring) = self.ring.as_mut() {
+            trace::flush_ring(ring);
         }
     }
 }
@@ -469,14 +525,17 @@ pub fn flush_thread() {
 }
 
 /// RAII span timer: time from construction to drop is added to `path`.
+/// When the flight recorder is on (see [`trace`]), the same guard also
+/// emits a Begin event at construction and an End event at drop.
 #[must_use = "a span records on drop; binding it to _ discards the timing"]
 pub struct SpanGuard {
     path: &'static str,
     t0: Option<Instant>,
+    traced: bool,
 }
 
 impl SpanGuard {
-    /// Seconds elapsed so far (0 when telemetry is disabled).
+    /// Seconds elapsed so far (0 when every recorder is disabled).
     pub fn elapsed_s(&self) -> f64 {
         self.t0.map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0)
     }
@@ -486,22 +545,32 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(t0) = self.t0 {
             span_add_ns(self.path, t0.elapsed().as_nanos() as u64);
+            if self.traced {
+                trace::end(self.path);
+            }
         }
     }
 }
 
 /// Start a span. Paths are `/`-separated to express hierarchy
 /// (`"sketch/alg3"`, `"sketch/alg3/sample"`); the summary table indents by
-/// path depth.
+/// path depth. Reads the gate byte once: the timer arms when either the
+/// aggregate telemetry or the flight recorder is on.
 #[inline]
 pub fn span(path: &'static str) -> SpanGuard {
+    let g = gate();
+    let traced = g & GATE_TRACE != 0;
+    if traced {
+        trace::begin(path);
+    }
     SpanGuard {
         path,
-        t0: if enabled() {
+        t0: if g & (GATE_OBS | GATE_TRACE) != 0 {
             Some(Instant::now())
         } else {
             None
         },
+        traced,
     }
 }
 
@@ -681,6 +750,11 @@ pub fn json_path_from_env() -> Option<String> {
 /// (`--obs-json PATH`) wins over `SKETCH_OBS_JSON`. The one place the
 /// precedence rule lives — `repro`, `sketchprof` and `benchgate` all call
 /// this instead of re-implementing it.
+///
+/// Sink semantics: the resolved file is **truncated and rewritten** on every
+/// run ([`Snapshot::write_jsonl`] uses `std::fs::write`), never appended to.
+/// Pointing two runs at one path keeps only the last run's snapshot; use
+/// distinct paths to keep a history.
 pub fn resolve_json_sink(cli: Option<String>) -> Option<String> {
     cli.or_else(json_path_from_env)
 }
@@ -823,7 +897,10 @@ impl Snapshot {
         out
     }
 
-    /// Write the JSONL serialization to `path` (truncating).
+    /// Write the JSONL serialization to `path`, **truncating** any existing
+    /// file: a sink path always holds exactly one run's snapshot (one `meta`
+    /// line first), never an append log. All three binaries share this
+    /// behavior via [`resolve_json_sink`] + [`emit_run_telemetry`].
     pub fn write_jsonl(&self, path: &str) -> std::io::Result<()> {
         std::fs::write(path, self.to_jsonl())
     }
@@ -884,9 +961,9 @@ impl Snapshot {
 mod tests {
     use super::*;
 
-    // The registry is process-global, so the tests below serialize on a lock
-    // to avoid cross-test interference.
-    fn lock() -> std::sync::MutexGuard<'static, ()> {
+    // The registry is process-global, so the tests below (and the trace
+    // module's) serialize on a lock to avoid cross-test interference.
+    pub(crate) fn lock() -> std::sync::MutexGuard<'static, ()> {
         static L: Mutex<()> = Mutex::new(());
         L.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -1037,6 +1114,44 @@ mod tests {
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'), "bad line {l}");
         }
+    }
+
+    #[test]
+    fn write_jsonl_truncates_existing_file() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        let path = std::env::temp_dir().join(format!("obskit_trunc_{}.jsonl", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        add(Ctr::Samples, 1);
+        snapshot().write_jsonl(&path).unwrap();
+        add(Ctr::Samples, 1);
+        snapshot().write_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let metas = text
+            .lines()
+            .filter(|l| l.contains("\"type\":\"meta\""))
+            .count();
+        // Truncate-on-write: the second snapshot replaces the first, so the
+        // file holds exactly one meta line (an append log would hold two).
+        assert_eq!(metas, 1, "sink must hold one snapshot, got:\n{text}");
+        assert!(text.contains("\"name\":\"samples\",\"value\":2"));
+        let _ = std::fs::remove_file(&path);
+        reset();
+    }
+
+    #[test]
+    fn gate_bits_are_independent() {
+        let _g = lock();
+        set_enabled(true);
+        trace::set_enabled(true);
+        assert!(enabled() && trace_enabled() && any_enabled());
+        set_enabled(false);
+        assert!(!enabled() && trace_enabled() && any_enabled());
+        trace::set_enabled(false);
+        assert!(!enabled() && !trace_enabled() && !any_enabled());
+        set_enabled(true);
+        assert!(enabled() && !trace_enabled() && any_enabled());
     }
 
     #[test]

@@ -1,0 +1,832 @@
+//! # Flight-recorder tracing
+//!
+//! A timeline-level complement to the aggregate telemetry in the crate
+//! root: fixed-capacity per-thread ring buffers of compact binary events
+//! (span begin/end, kernel-block annotations, solver-iteration marks,
+//! counter deltas) stamped with nanoseconds since the process telemetry
+//! epoch. The recorder is built to stay armed in long runs:
+//!
+//! * **Zero allocation on the hot path** — each thread's ring is one
+//!   `Vec<TraceEvent>` allocated at first use; a push is an index store.
+//! * **Overwrite-oldest** — a full ring wraps and counts what it evicted,
+//!   so the recorder keeps the most recent window like a real flight
+//!   recorder instead of stalling or growing.
+//! * **Merge at join points** — rings drain into a bounded global store
+//!   when threads flush ([`crate::flush_thread`], called by parkit at its
+//!   join points) and when [`take`] drains the recorder.
+//!
+//! Gating mirrors the crate root: tracing is **opt-in** via `SKETCH_TRACE=1`
+//! or [`set_enabled`], and both gates share one atomic byte so the kernels'
+//! disabled path stays a single relaxed load (see [`crate::any_enabled`]).
+//! `obskit::reset()` deliberately does *not* clear the recorder — benchmark
+//! harnesses reset aggregates between reps, but a flight recorder must keep
+//! its timeline across them; [`take`] is the one draining operation.
+//!
+//! Two drains serve the captured stream:
+//!
+//! * [`TraceCapture::chrome_json`] — Chrome Trace Event / Perfetto JSON
+//!   with balanced `ph:"B"`/`ph:"E"` pairs, per-block args (block indices,
+//!   rows, nnz, bytes, model cost and model-predicted ns) and `ph:"C"`
+//!   counter series.
+//! * [`TraceCapture::folded`] — collapsed-stack lines (`a;b;c <self-ns>`)
+//!   for flamegraph rendering.
+//!
+//! On top of the block annotations, [`attribute`] compares each block's
+//! measured latency against a per-path traffic-model prediction and flags
+//! outliers with the same noise-aware threshold shape the bench gate uses:
+//! `max(rel_tol·pred, k·MAD)`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use super::GATE_TRACE;
+
+/// Kind tag of one trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A span opened; matched by the next closing kind at the same depth.
+    Begin,
+    /// A plain span closed.
+    End,
+    /// A kernel block span closed. `args = [i, j, rows, nnz, bytes, cost]`
+    /// where `cost` is the traffic-model cost in word-bytes (see
+    /// [`BlockRecord::cost`]).
+    BlockEnd,
+    /// A solver iteration span closed. `args[0]` is the iteration number,
+    /// `args[1]` the relative residual as `f64::to_bits`.
+    IterEnd,
+    /// A counter delta; `path` names the series, `args[0]` holds the delta.
+    Counter,
+}
+
+impl TraceKind {
+    fn closes_span(self) -> bool {
+        matches!(
+            self,
+            TraceKind::End | TraceKind::BlockEnd | TraceKind::IterEnd
+        )
+    }
+}
+
+/// One compact fixed-size trace event (copyable, no heap).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Nanoseconds since the process telemetry epoch (monotonic).
+    pub ts_ns: u64,
+    /// Recorder-assigned thread id (stable per thread, starts at 1).
+    pub tid: u32,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Span path or counter name (interned `&'static str`).
+    pub path: &'static str,
+    /// Kind-specific payload (see [`TraceKind`]).
+    pub args: [u64; 6],
+}
+
+/// Default per-thread ring capacity (events); override with
+/// `SKETCH_TRACE_CAP` (values below 16 are clamped up).
+pub const DEFAULT_RING_CAP: usize = 1 << 16;
+
+/// Hard cap on the global event store; older events are evicted (and
+/// counted) beyond it, keeping the recorder bounded like the rings.
+pub const STORE_CAP: usize = 1 << 20;
+
+fn ring_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("SKETCH_TRACE_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .map(|c: usize| c.max(16))
+            .unwrap_or(DEFAULT_RING_CAP)
+    })
+}
+
+/// Per-thread fixed-capacity event ring. Created lazily on a thread's first
+/// traced event; pushes after the one-time allocation never allocate and
+/// overwrite the oldest event once full.
+pub struct TraceRing {
+    tid: u32,
+    cap: usize,
+    buf: Vec<TraceEvent>,
+    head: usize, // oldest event (and next overwrite target) once full
+    overwritten: u64,
+}
+
+impl TraceRing {
+    fn new() -> Self {
+        static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+        Self {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            cap: ring_cap(),
+            buf: Vec::with_capacity(ring_cap()),
+            head: 0,
+            overwritten: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.overwritten += 1;
+        }
+    }
+}
+
+struct Store {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+fn store() -> &'static Mutex<Store> {
+    static S: OnceLock<Mutex<Store>> = OnceLock::new();
+    S.get_or_init(|| {
+        Mutex::new(Store {
+            events: Vec::new(),
+            dropped: 0,
+        })
+    })
+}
+
+// Drain one thread's ring into the global store, oldest first. Called from
+// `Local::flush`, i.e. at parkit join points, thread exit, and `take`.
+pub(super) fn flush_ring(ring: &mut TraceRing) {
+    if ring.buf.is_empty() && ring.overwritten == 0 {
+        return;
+    }
+    let mut s = store().lock().unwrap();
+    s.dropped += std::mem::take(&mut ring.overwritten);
+    s.events.extend_from_slice(&ring.buf[ring.head..]);
+    s.events.extend_from_slice(&ring.buf[..ring.head]);
+    if s.events.len() > STORE_CAP {
+        let excess = s.events.len() - STORE_CAP;
+        s.events.drain(..excess);
+        s.dropped += excess as u64;
+    }
+    ring.buf.clear();
+    ring.head = 0;
+}
+
+/// Override the `SKETCH_TRACE` gate programmatically (CLI `--trace-out`,
+/// tests). The aggregate-telemetry gate ([`crate::set_enabled`]) is left
+/// untouched.
+pub fn set_enabled(on: bool) {
+    super::store_gate_bit(GATE_TRACE, on);
+}
+
+/// Nanoseconds since the process telemetry epoch (monotonic, the trace
+/// timebase).
+#[inline]
+pub fn now_ns() -> u64 {
+    super::epoch().elapsed().as_nanos() as u64
+}
+
+#[inline]
+fn push_event(kind: TraceKind, path: &'static str, ts_ns: u64, args: [u64; 6]) {
+    super::with_local(|l| {
+        let ring = l.ring.get_or_insert_with(TraceRing::new);
+        let tid = ring.tid;
+        ring.push(TraceEvent {
+            ts_ns,
+            tid,
+            kind,
+            path,
+            args,
+        });
+    });
+}
+
+/// Record the opening of span `path` now (no-op unless tracing is on).
+#[inline]
+pub fn begin(path: &'static str) {
+    if !super::trace_enabled() {
+        return;
+    }
+    push_event(TraceKind::Begin, path, now_ns(), [0; 6]);
+}
+
+/// Record the close of span `path` now (no-op unless tracing is on).
+#[inline]
+pub fn end(path: &'static str) {
+    if !super::trace_enabled() {
+        return;
+    }
+    push_event(TraceKind::End, path, now_ns(), [0; 6]);
+}
+
+/// Record a completed leaf span as an adjacent Begin/closing pair with the
+/// caller's own timestamps. The kernels time a block first and only then
+/// record, so the pair lands atomically in the ring — eviction can never
+/// separate a block's Begin from its close.
+#[inline]
+pub fn span_pair(path: &'static str, begin_ns: u64, end_ns: u64, kind: TraceKind, args: [u64; 6]) {
+    if !super::trace_enabled() {
+        return;
+    }
+    debug_assert!(kind.closes_span(), "span_pair needs a closing kind");
+    super::with_local(|l| {
+        let ring = l.ring.get_or_insert_with(TraceRing::new);
+        let tid = ring.tid;
+        ring.push(TraceEvent {
+            ts_ns: begin_ns,
+            tid,
+            kind: TraceKind::Begin,
+            path,
+            args: [0; 6],
+        });
+        ring.push(TraceEvent {
+            ts_ns: end_ns,
+            tid,
+            kind,
+            path,
+            args,
+        });
+    });
+}
+
+/// Record a counter delta under `name` (a `ph:"C"` series in the Chrome
+/// export). No-op when tracing is off or `delta` is 0.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if !super::trace_enabled() || delta == 0 {
+        return;
+    }
+    push_event(TraceKind::Counter, name, now_ns(), [delta, 0, 0, 0, 0, 0]);
+}
+
+/// Everything the flight recorder held at [`take`] time.
+#[derive(Clone, Debug, Default)]
+pub struct TraceCapture {
+    /// Events, chronological within each thread's stream.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overwrite or the global store cap.
+    pub dropped: u64,
+}
+
+/// Drain the recorder: flush the calling thread's ring, then take and clear
+/// the global store. Worker-thread rings were already flushed at their
+/// parkit join points. This is the *only* operation that empties the
+/// recorder — `obskit::reset()` keeps the timeline on purpose.
+pub fn take() -> TraceCapture {
+    super::flush_thread();
+    let mut s = store().lock().unwrap();
+    TraceCapture {
+        events: std::mem::take(&mut s.events),
+        dropped: std::mem::take(&mut s.dropped),
+    }
+}
+
+/// One kernel block matched from a Begin/[`TraceKind::BlockEnd`] pair.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockRecord {
+    /// Span path (e.g. `"sketch/alg3/block"`).
+    pub path: &'static str,
+    /// Recorder thread id.
+    pub tid: u32,
+    /// Block start, ns since the telemetry epoch.
+    pub ts_ns: u64,
+    /// Measured wall-clock duration in ns.
+    pub dur_ns: u64,
+    /// Block row index (panel `i`).
+    pub i: u64,
+    /// Block column index (panel `j`).
+    pub j: u64,
+    /// Rows of `A` the block touches (`d1`, or rows hit for Algorithm 4).
+    pub rows: u64,
+    /// Nonzeros of `A` streamed by the block.
+    pub nnz: u64,
+    /// Bytes moved (operand stream + output traffic).
+    pub bytes: u64,
+    /// Traffic-model cost in byte units: `bytes + h·samples·word_bytes`,
+    /// the §III-A functional (memory traffic plus weighted generation).
+    pub cost: u64,
+}
+
+/// A [`BlockRecord`] with its model-predicted duration and anomaly verdict.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockAttr {
+    /// The measured block.
+    pub rec: BlockRecord,
+    /// Model-predicted ns: per-path fitted α times the block's cost.
+    pub pred_ns: f64,
+    /// Deviation threshold `max(rel_tol·pred, mad_k·MAD)` in ns.
+    pub threshold_ns: f64,
+    /// `dur > pred + threshold`: slower than the traffic model explains.
+    pub flagged: bool,
+}
+
+fn per_tid(events: &[TraceEvent]) -> Vec<(u32, Vec<&TraceEvent>)> {
+    let mut by: BTreeMap<u32, Vec<&TraceEvent>> = BTreeMap::new();
+    for ev in events {
+        by.entry(ev.tid).or_default().push(ev);
+    }
+    by.into_iter().collect()
+}
+
+fn median_f64(xs: &mut [f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    xs[(xs.len() - 1) / 2]
+}
+
+// Fit ns-per-cost-unit per span path: the median of dur/cost over blocks
+// with nonzero cost. The median (not mean) keeps one straggler from
+// inflating everyone's prediction — the attribution question is "which
+// blocks deviate from the *typical* traffic rate".
+fn fit_alphas(recs: &[BlockRecord]) -> HashMap<&'static str, f64> {
+    let mut ratios: HashMap<&'static str, Vec<f64>> = HashMap::new();
+    for r in recs {
+        if r.cost > 0 {
+            ratios
+                .entry(r.path)
+                .or_default()
+                .push(r.dur_ns as f64 / r.cost as f64);
+        }
+    }
+    ratios
+        .into_iter()
+        .map(|(p, mut v)| (p, median_f64(&mut v)))
+        .collect()
+}
+
+/// Compare each block against its traffic-model prediction and flag
+/// anomalies. Per path, the predicted duration is `α·cost` with α the
+/// median ns-per-cost-unit; a block is flagged when its duration exceeds
+/// the prediction by more than `max(rel_tol·pred, mad_k·MAD)` — the same
+/// noise-aware threshold shape the bench gate applies to scenario medians,
+/// with MAD taken over the path's residuals. Returns all blocks sorted
+/// slowest-first.
+pub fn attribute(recs: &[BlockRecord], rel_tol: f64, mad_k: f64) -> Vec<BlockAttr> {
+    let alphas = fit_alphas(recs);
+    let pred = |r: &BlockRecord| alphas.get(r.path).copied().unwrap_or(0.0) * r.cost as f64;
+    let mut resid: HashMap<&'static str, Vec<f64>> = HashMap::new();
+    for r in recs {
+        resid
+            .entry(r.path)
+            .or_default()
+            .push(r.dur_ns as f64 - pred(r));
+    }
+    let mads: HashMap<&'static str, f64> = resid
+        .into_iter()
+        .map(|(p, mut rs)| {
+            let med = median_f64(&mut rs);
+            let mut devs: Vec<f64> = rs.iter().map(|r| (r - med).abs()).collect();
+            (p, median_f64(&mut devs))
+        })
+        .collect();
+    let mut out: Vec<BlockAttr> = recs
+        .iter()
+        .map(|r| {
+            let p = pred(r);
+            let thr = (rel_tol * p).max(mad_k * mads.get(r.path).copied().unwrap_or(0.0));
+            BlockAttr {
+                rec: *r,
+                pred_ns: p,
+                threshold_ns: thr,
+                flagged: r.dur_ns as f64 > p + thr,
+            }
+        })
+        .collect();
+    out.sort_by_key(|a| std::cmp::Reverse(a.rec.dur_ns));
+    out
+}
+
+fn ts_us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+impl TraceCapture {
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Latest timestamp in the capture (0 when empty).
+    fn max_ts_ns(&self) -> u64 {
+        self.events.iter().map(|e| e.ts_ns).max().unwrap_or(0)
+    }
+
+    /// Kernel blocks matched from Begin/[`TraceKind::BlockEnd`] pairs, in
+    /// per-thread stream order.
+    pub fn block_records(&self) -> Vec<BlockRecord> {
+        let mut out = Vec::new();
+        for (tid, evs) in per_tid(&self.events) {
+            let mut stack: Vec<&TraceEvent> = Vec::new();
+            for ev in evs {
+                match ev.kind {
+                    TraceKind::Begin => stack.push(ev),
+                    TraceKind::Counter => {}
+                    _ => {
+                        if stack.last().is_some_and(|b| b.path == ev.path) {
+                            let b = stack.pop().unwrap();
+                            if ev.kind == TraceKind::BlockEnd {
+                                out.push(BlockRecord {
+                                    path: ev.path,
+                                    tid,
+                                    ts_ns: b.ts_ns,
+                                    dur_ns: ev.ts_ns.saturating_sub(b.ts_ns),
+                                    i: ev.args[0],
+                                    j: ev.args[1],
+                                    rows: ev.args[2],
+                                    nnz: ev.args[3],
+                                    bytes: ev.args[4],
+                                    cost: ev.args[5],
+                                });
+                            }
+                        }
+                        // Orphan close (its Begin was evicted): skip.
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Export as Chrome Trace Event / Perfetto JSON.
+    ///
+    /// Emits one event object per line inside `{"traceEvents":[…]}`:
+    /// `ph:"M"` thread metadata, `ph:"B"`/`ph:"E"` span pairs (block closes
+    /// carry `i/j/rows/nnz/bytes/cost/model_ns` args, iteration closes carry
+    /// `iter/rel_resid`), and `ph:"C"` cumulative counter series.
+    /// Timestamps are microseconds since the telemetry epoch.
+    ///
+    /// Balance is guaranteed: a `B` is emitted only when its close will
+    /// follow — orphan closes (Begin evicted by the ring) are skipped, and
+    /// spans still open at the end of a thread's stream get a synthetic `E`
+    /// at the capture's last timestamp.
+    pub fn chrome_json(&self) -> String {
+        let pid = std::process::id();
+        let max_ts = self.max_ts_ns();
+        let alphas = fit_alphas(&self.block_records());
+        let mut lines: Vec<String> = Vec::new();
+        lines.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"sketch\"}}}}"
+        ));
+        for (tid, evs) in per_tid(&self.events) {
+            lines.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"worker-{tid}\"}}}}"
+            ));
+            // Pending Begins: (event, index into `lines` of its "B" line).
+            let mut stack: Vec<&TraceEvent> = Vec::new();
+            let mut cum: HashMap<&'static str, u64> = HashMap::new();
+            for ev in evs {
+                match ev.kind {
+                    TraceKind::Begin => {
+                        let mut l = String::from("{\"name\":\"");
+                        super::json_escape(&mut l, ev.path);
+                        let _ = write!(
+                            l,
+                            "\",\"cat\":\"sketch\",\"ph\":\"B\",\"ts\":{},\"pid\":{pid},\"tid\":{tid}}}",
+                            ts_us(ev.ts_ns)
+                        );
+                        lines.push(l);
+                        stack.push(ev);
+                    }
+                    TraceKind::Counter => {
+                        let c = cum.entry(ev.path).or_insert(0);
+                        *c += ev.args[0];
+                        let mut l = String::from("{\"name\":\"");
+                        super::json_escape(&mut l, ev.path);
+                        let _ = write!(
+                            l,
+                            "\",\"ph\":\"C\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\
+                             \"args\":{{\"value\":{}}}}}",
+                            ts_us(ev.ts_ns),
+                            *c
+                        );
+                        lines.push(l);
+                    }
+                    _ => {
+                        if stack.last().is_none_or(|b| b.path != ev.path) {
+                            continue; // orphan close, Begin was evicted
+                        }
+                        let b = stack.pop().unwrap();
+                        let mut l = String::from("{\"name\":\"");
+                        super::json_escape(&mut l, ev.path);
+                        let _ = write!(
+                            l,
+                            "\",\"cat\":\"sketch\",\"ph\":\"E\",\"ts\":{},\"pid\":{pid},\"tid\":{tid}",
+                            ts_us(ev.ts_ns)
+                        );
+                        match ev.kind {
+                            TraceKind::BlockEnd => {
+                                let a = alphas.get(ev.path).copied().unwrap_or(0.0);
+                                let model_ns = (a * ev.args[5] as f64).round() as u64;
+                                let _ = write!(
+                                    l,
+                                    ",\"args\":{{\"i\":{},\"j\":{},\"rows\":{},\"nnz\":{},\
+                                     \"bytes\":{},\"cost\":{},\"model_ns\":{},\"dur_ns\":{}}}",
+                                    ev.args[0],
+                                    ev.args[1],
+                                    ev.args[2],
+                                    ev.args[3],
+                                    ev.args[4],
+                                    ev.args[5],
+                                    model_ns,
+                                    ev.ts_ns.saturating_sub(b.ts_ns)
+                                );
+                            }
+                            TraceKind::IterEnd => {
+                                let _ =
+                                    write!(l, ",\"args\":{{\"iter\":{},\"rel_resid\":", ev.args[0]);
+                                super::json_f64(&mut l, f64::from_bits(ev.args[1]));
+                                l.push('}');
+                            }
+                            _ => {}
+                        }
+                        l.push('}');
+                        lines.push(l);
+                    }
+                }
+            }
+            // Spans whose close was evicted: synthesize balanced Es at the
+            // capture's end, innermost first.
+            while let Some(b) = stack.pop() {
+                let mut l = String::from("{\"name\":\"");
+                super::json_escape(&mut l, b.path);
+                let _ = write!(
+                    l,
+                    "\",\"cat\":\"sketch\",\"ph\":\"E\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\
+                     \"args\":{{\"synthetic_end\":true}}}}",
+                    ts_us(max_ts)
+                );
+                lines.push(l);
+            }
+        }
+        let mut out = String::from("{\"traceEvents\":[\n");
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Collapsed-stack flamegraph lines: one `path;path;path <self-ns>`
+    /// per unique stack, aggregated across threads, sorted by stack name.
+    /// Values are *self* nanoseconds (total minus child time), the quantity
+    /// flamegraph width encodes.
+    pub fn folded(&self) -> String {
+        struct Frame<'a> {
+            path: &'a str,
+            t0: u64,
+            child_ns: u64,
+        }
+        let max_ts = self.max_ts_ns();
+        let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+        for (_tid, evs) in per_tid(&self.events) {
+            let mut stack: Vec<Frame> = Vec::new();
+            let close_top = |stack: &mut Vec<Frame>, agg: &mut BTreeMap<String, u64>, end: u64| {
+                let f = stack.pop().expect("close_top on empty stack");
+                let total = end.saturating_sub(f.t0);
+                let self_ns = total.saturating_sub(f.child_ns);
+                if let Some(p) = stack.last_mut() {
+                    p.child_ns += total;
+                }
+                if self_ns > 0 {
+                    let mut key = String::new();
+                    for anc in stack.iter() {
+                        key.push_str(anc.path);
+                        key.push(';');
+                    }
+                    key.push_str(f.path);
+                    *agg.entry(key).or_insert(0) += self_ns;
+                }
+            };
+            for ev in evs {
+                match ev.kind {
+                    TraceKind::Begin => stack.push(Frame {
+                        path: ev.path,
+                        t0: ev.ts_ns,
+                        child_ns: 0,
+                    }),
+                    TraceKind::Counter => {}
+                    _ => {
+                        if stack.last().is_some_and(|f| f.path == ev.path) {
+                            close_top(&mut stack, &mut agg, ev.ts_ns);
+                        }
+                    }
+                }
+            }
+            while !stack.is_empty() {
+                close_top(&mut stack, &mut agg, max_ts);
+            }
+        }
+        let mut out = String::new();
+        for (k, v) in agg {
+            let _ = writeln!(out, "{k} {v}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, tid: u32, kind: TraceKind, path: &'static str, args: [u64; 6]) -> TraceEvent {
+        TraceEvent {
+            ts_ns: ts,
+            tid,
+            kind,
+            path,
+            args,
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts() {
+        let mut r = TraceRing {
+            tid: 7,
+            cap: 4,
+            buf: Vec::with_capacity(4),
+            head: 0,
+            overwritten: 0,
+        };
+        for t in 0..6u64 {
+            r.push(ev(t, 7, TraceKind::End, "x", [0; 6]));
+        }
+        assert_eq!(r.overwritten, 2);
+        assert_eq!(r.buf.len(), 4);
+        // Oldest-first drain order: 2, 3, 4, 5.
+        let mut order: Vec<u64> = r.buf[r.head..].iter().map(|e| e.ts_ns).collect();
+        order.extend(r.buf[..r.head].iter().map(|e| e.ts_ns));
+        assert_eq!(order, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn recorder_round_trip_and_reset_survival() {
+        let _g = crate::tests::lock();
+        crate::set_enabled(false);
+        set_enabled(true);
+        let _ = take(); // clear residue from other tests
+        begin("run");
+        span_pair(
+            "run/block",
+            now_ns(),
+            now_ns() + 10,
+            TraceKind::BlockEnd,
+            [0, 1, 8, 100, 4096, 5000],
+        );
+        counter("bytes", 4096);
+        end("run");
+        // reset() must NOT clear the flight recorder.
+        crate::reset();
+        let cap = take();
+        assert_eq!(cap.dropped, 0);
+        assert_eq!(cap.events.len(), 5);
+        assert_eq!(cap.block_records().len(), 1);
+        let b = cap.block_records()[0];
+        assert_eq!(
+            (b.i, b.j, b.rows, b.nnz, b.bytes, b.cost),
+            (0, 1, 8, 100, 4096, 5000)
+        );
+        // take() drained the store.
+        assert!(take().is_empty());
+        set_enabled(false);
+        crate::set_enabled(true);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = crate::tests::lock();
+        set_enabled(false);
+        let _ = take();
+        begin("off");
+        end("off");
+        counter("off", 1);
+        span_pair("off", 0, 1, TraceKind::End, [0; 6]);
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn chrome_json_is_balanced_with_block_args() {
+        let cap = TraceCapture {
+            events: vec![
+                ev(0, 1, TraceKind::Begin, "run", [0; 6]),
+                ev(10, 1, TraceKind::Begin, "run/blk", [0; 6]),
+                ev(
+                    110,
+                    1,
+                    TraceKind::BlockEnd,
+                    "run/blk",
+                    [2, 3, 8, 50, 1024, 2000],
+                ),
+                ev(120, 1, TraceKind::Counter, "bytes", [1024, 0, 0, 0, 0, 0]),
+                ev(130, 1, TraceKind::Counter, "bytes", [1024, 0, 0, 0, 0, 0]),
+                // Orphan close (Begin evicted) must be skipped:
+                ev(140, 1, TraceKind::End, "ghost", [0; 6]),
+                // `run` never closes -> synthetic E at max ts.
+                ev(200, 2, TraceKind::Begin, "iter", [0; 6]),
+                ev(
+                    250,
+                    2,
+                    TraceKind::IterEnd,
+                    "iter",
+                    [3, 0.25f64.to_bits(), 0, 0, 0, 0],
+                ),
+            ],
+            dropped: 0,
+        };
+        let json = cap.chrome_json();
+        let b = json.matches("\"ph\":\"B\"").count();
+        let e = json.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, e, "unbalanced B/E in:\n{json}");
+        assert_eq!(b, 3);
+        assert!(!json.contains("ghost"));
+        assert!(json.contains("\"synthetic_end\":true"));
+        assert!(json.contains("\"i\":2,\"j\":3,\"rows\":8,\"nnz\":50,\"bytes\":1024,\"cost\":2000"));
+        assert!(json.contains("\"model_ns\":100")); // α = 100/2000, cost 2000
+        assert!(json.contains("\"iter\":3,\"rel_resid\":0.25"));
+        // Cumulative counter series: 1024 then 2048.
+        assert!(json.contains("\"args\":{\"value\":1024}"));
+        assert!(json.contains("\"args\":{\"value\":2048}"));
+    }
+
+    #[test]
+    fn folded_attributes_self_time() {
+        let cap = TraceCapture {
+            events: vec![
+                ev(0, 1, TraceKind::Begin, "a", [0; 6]),
+                ev(10, 1, TraceKind::Begin, "b", [0; 6]),
+                ev(40, 1, TraceKind::End, "b", [0; 6]),
+                ev(100, 1, TraceKind::End, "a", [0; 6]),
+            ],
+            dropped: 0,
+        };
+        let folded = cap.folded();
+        let mut lines: Vec<&str> = folded.lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec!["a 70", "a;b 30"]);
+    }
+
+    #[test]
+    fn attribute_flags_the_straggler() {
+        // Nine well-behaved blocks at 1 ns/cost-unit, one 10x straggler.
+        let mut recs: Vec<BlockRecord> = (0..9)
+            .map(|k| BlockRecord {
+                path: "p",
+                tid: 1,
+                ts_ns: k * 1000,
+                dur_ns: 1000 + k, // tiny jitter
+                i: k,
+                j: 0,
+                rows: 8,
+                nnz: 100,
+                bytes: 800,
+                cost: 1000,
+            })
+            .collect();
+        recs.push(BlockRecord {
+            path: "p",
+            tid: 1,
+            ts_ns: 9000,
+            dur_ns: 10_000,
+            i: 9,
+            j: 0,
+            rows: 8,
+            nnz: 100,
+            bytes: 800,
+            cost: 1000,
+        });
+        let attrs = attribute(&recs, 0.3, 4.0);
+        assert_eq!(attrs.len(), 10);
+        // Sorted slowest-first.
+        assert_eq!(attrs[0].rec.dur_ns, 10_000);
+        assert!(attrs[0].flagged, "straggler not flagged: {:?}", attrs[0]);
+        assert!(
+            attrs[1..].iter().all(|a| !a.flagged),
+            "well-behaved block flagged"
+        );
+        // Prediction is near the typical rate.
+        assert!((attrs[0].pred_ns - 1000.0).abs() < 20.0);
+    }
+
+    #[test]
+    fn store_cap_drops_oldest_counted() {
+        let _g = crate::tests::lock();
+        set_enabled(true);
+        let _ = take();
+        // Exercise the store-cap eviction path directly via flush_ring.
+        let mut ring = TraceRing {
+            tid: 99,
+            cap: 8,
+            buf: Vec::with_capacity(8),
+            head: 0,
+            overwritten: 3, // pretend the ring already wrapped
+        };
+        ring.push(ev(1, 99, TraceKind::End, "x", [0; 6]));
+        flush_ring(&mut ring);
+        let cap = take();
+        assert_eq!(cap.events.len(), 1);
+        assert_eq!(cap.dropped, 3);
+        set_enabled(false);
+    }
+}

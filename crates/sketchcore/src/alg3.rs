@@ -32,12 +32,23 @@ where
     let mut ahat = Matrix::zeros(cfg.d, a.ncols());
     let mut sampler = sampler.clone();
     alg1::drive(cfg, a.ncols(), |b| {
-        let t0 = obskit::enabled().then(std::time::Instant::now);
+        let t0 = crate::obs::block_timer();
         kernel(&mut ahat, a, b, &mut sampler);
         if let Some(t0) = t0 {
-            obskit::hist_record_ns("sketch/alg3/block", t0.elapsed().as_nanos() as u64);
+            let dur_ns = t0.elapsed().as_nanos() as u64;
             let nnz_b: usize = (b.j..b.j + b.n1).map(|k| a.col(k).0.len()).sum();
-            crate::obs::count_block::<T>(b.d1, b.n1, nnz_b);
+            crate::obs::block_done::<T>(
+                crate::obs::BlockObs {
+                    path: "sketch/alg3/block",
+                    i: b.i,
+                    j: b.j,
+                    d1: b.d1,
+                    n1: b.n1,
+                    nnz: nnz_b,
+                    rows_hit: None,
+                },
+                dur_ns,
+            );
         }
     });
     ahat
@@ -107,12 +118,23 @@ where
     let mut sampler = sampler.clone();
     let mut v = vec![0i8; cfg.b_d.min(cfg.d)];
     alg1::drive(cfg, a.ncols(), |b| {
-        let t0 = obskit::enabled().then(std::time::Instant::now);
+        let t0 = crate::obs::block_timer();
         kernel_signs(&mut ahat, a, b, &mut sampler, &mut v);
         if let Some(t0) = t0 {
-            obskit::hist_record_ns("sketch/alg3_signs/block", t0.elapsed().as_nanos() as u64);
+            let dur_ns = t0.elapsed().as_nanos() as u64;
             let nnz_b: usize = (b.j..b.j + b.n1).map(|k| a.col(k).0.len()).sum();
-            crate::obs::count_block::<i8>(b.d1, b.n1, nnz_b);
+            crate::obs::block_done::<i8>(
+                crate::obs::BlockObs {
+                    path: "sketch/alg3_signs/block",
+                    i: b.i,
+                    j: b.j,
+                    d1: b.d1,
+                    n1: b.n1,
+                    nnz: nnz_b,
+                    rows_hit: None,
+                },
+                dur_ns,
+            );
         }
     });
     ahat

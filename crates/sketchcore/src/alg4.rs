@@ -36,7 +36,7 @@ where
         let mut i = 0;
         while i < cfg.d {
             let d1 = cfg.b_d.min(cfg.d - i);
-            let t0 = obskit::enabled().then(std::time::Instant::now);
+            let t0 = crate::obs::block_timer();
             kernel(
                 &mut ahat,
                 a,
@@ -51,9 +51,20 @@ where
                 &mut v,
             );
             if let Some(t0) = t0 {
-                obskit::hist_record_ns("sketch/alg4/block", t0.elapsed().as_nanos() as u64);
+                let dur_ns = t0.elapsed().as_nanos() as u64;
                 let rows_hit = (0..csr.nrows()).filter(|&j| csr.row_nnz(j) > 0).count();
-                crate::obs::count_block_alg4::<T>(d1, csr.ncols(), csr.nnz(), rows_hit);
+                crate::obs::block_done::<T>(
+                    crate::obs::BlockObs {
+                        path: "sketch/alg4/block",
+                        i,
+                        j: j0,
+                        d1,
+                        n1: csr.ncols(),
+                        nnz: csr.nnz(),
+                        rows_hit: Some(rows_hit),
+                    },
+                    dur_ns,
+                );
             }
             i += cfg.b_d;
         }
@@ -111,7 +122,7 @@ where
         while i < cfg.d {
             let d1 = cfg.b_d.min(cfg.d - i);
             let vv = &mut v[..d1];
-            let t0 = obskit::enabled().then(std::time::Instant::now);
+            let t0 = crate::obs::block_timer();
             for j in 0..csr.nrows() {
                 let (cols, vals) = csr.row(j);
                 if cols.is_empty() {
@@ -127,9 +138,20 @@ where
                 }
             }
             if let Some(t0) = t0 {
-                obskit::hist_record_ns("sketch/alg4_signs/block", t0.elapsed().as_nanos() as u64);
+                let dur_ns = t0.elapsed().as_nanos() as u64;
                 let rows_hit = (0..csr.nrows()).filter(|&j| csr.row_nnz(j) > 0).count();
-                crate::obs::count_block_alg4::<i8>(d1, csr.ncols(), csr.nnz(), rows_hit);
+                crate::obs::block_done::<i8>(
+                    crate::obs::BlockObs {
+                        path: "sketch/alg4_signs/block",
+                        i,
+                        j: j0,
+                        d1,
+                        n1: csr.ncols(),
+                        nnz: csr.nnz(),
+                        rows_hit: Some(rows_hit),
+                    },
+                    dur_ns,
+                );
             }
             i += cfg.b_d;
         }

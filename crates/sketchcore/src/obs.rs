@@ -1,10 +1,13 @@
 //! Telemetry glue: block-granularity counter helpers for the kernels and
 //! the measured-vs-model traffic comparison of paper §III-A.
 //!
-//! The kernels call [`count_block`] / [`count_block_alg4`] once per outer
-//! block **after** checking [`obskit::enabled`], so the disabled path costs
-//! one relaxed atomic load per block and nothing per nonzero. The counters
-//! follow the paper's accounting:
+//! The kernels call [`block_timer`] / [`block_done`] once per outer block:
+//! the timer arms only when a recorder is on ([`obskit::any_enabled`], one
+//! relaxed atomic load), and `block_done` fans the measurement out to the
+//! latency histogram + counters (aggregate telemetry) and/or an annotated
+//! block span in the flight recorder ([`obskit::trace`]). The disabled path
+//! costs one relaxed atomic load per block and nothing per nonzero. The
+//! counters follow the paper's accounting:
 //!
 //! * `samples` — entries of `S` regenerated (Algorithm 3: `d₁` per nonzero;
 //!   Algorithm 4: `d₁` per nonempty row of the vertical block).
@@ -22,13 +25,90 @@
 //! cache misses the model does not account for (or a mis-sized `M`).
 
 use crate::model::CostModel;
+use obskit::trace::{self, TraceKind};
 use obskit::Ctr;
+use std::time::Instant;
 
 /// Bytes per stored nonzero of the sparse operand: one value plus one
 /// row/column index (`usize`).
 #[inline]
 fn nnz_bytes<T>() -> u64 {
     (std::mem::size_of::<T>() + std::mem::size_of::<usize>()) as u64
+}
+
+/// Arm the per-block timer iff *any* recorder (aggregate telemetry or the
+/// flight recorder) is on. The disabled path is one relaxed atomic load —
+/// the same budget PR 1 set for the counters alone, kept by packing both
+/// gates into one byte ([`obskit::any_enabled`]).
+#[inline]
+pub fn block_timer() -> Option<Instant> {
+    obskit::any_enabled().then(Instant::now)
+}
+
+/// Identity and shape of one completed kernel block, handed to
+/// [`block_done`].
+#[derive(Clone, Copy, Debug)]
+pub struct BlockObs {
+    /// Histogram / trace span path, e.g. `"sketch/alg3/block"`.
+    pub path: &'static str,
+    /// Row offset of the output block in `Â`.
+    pub i: usize,
+    /// Column offset of the block.
+    pub j: usize,
+    /// Output rows of the block (`d₁`).
+    pub d1: usize,
+    /// Output columns of the block (`n₁`).
+    pub n1: usize,
+    /// Nonzeros of `A` streamed by the block.
+    pub nnz: usize,
+    /// `Some(rows_hit)` for Algorithm-4-style accounting (one seek and `d₁`
+    /// samples per nonempty row), `None` for Algorithm-3-style (per
+    /// nonzero).
+    pub rows_hit: Option<usize>,
+}
+
+/// Record one completed kernel block into whichever recorders are armed:
+/// the latency histogram plus §III-B counters when aggregate telemetry is
+/// on, and an annotated block span (indices, rows, nnz, bytes, model cost)
+/// plus counter deltas when the flight recorder is on. `dur_ns` is the
+/// measured kernel time — callers take it immediately after the kernel so
+/// shape bookkeeping (e.g. the nnz sum) never inflates the measurement.
+pub fn block_done<T>(b: BlockObs, dur_ns: u64) {
+    let samples = (b.d1 * b.rows_hit.unwrap_or(b.nnz)) as u64;
+    if obskit::enabled() {
+        obskit::hist_record_ns(b.path, dur_ns);
+        match b.rows_hit {
+            Some(rh) => count_block_alg4::<T>(b.d1, b.n1, b.nnz, rh),
+            None => count_block::<T>(b.d1, b.n1, b.nnz),
+        }
+    }
+    if obskit::trace_enabled() {
+        let word = std::mem::size_of::<T>() as u64;
+        let bytes = b.nnz as u64 * nnz_bytes::<T>() + 2 * word * (b.d1 * b.n1) as u64;
+        // §III-A cost functional in byte units: memory traffic plus
+        // generation cost h per sample, expressed in word-bytes so the two
+        // terms share a unit. The anomaly attributor fits ns-per-cost-unit
+        // per span path on top of this.
+        let h = CostModel::default_host().h;
+        let cost = bytes + (h * samples as f64 * word as f64).round() as u64;
+        let end_ns = trace::now_ns();
+        trace::span_pair(
+            b.path,
+            end_ns.saturating_sub(dur_ns),
+            end_ns,
+            TraceKind::BlockEnd,
+            [
+                b.i as u64,
+                b.j as u64,
+                b.rows_hit.unwrap_or(b.d1) as u64,
+                b.nnz as u64,
+                bytes,
+                cost,
+            ],
+        );
+        trace::counter("samples", samples);
+        trace::counter("bytes", bytes);
+    }
 }
 
 /// Record one Algorithm-3-style outer block: `d1 × n1` output tile with

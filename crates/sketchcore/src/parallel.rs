@@ -45,7 +45,7 @@ where
         let mut i = 0;
         while i < d {
             let d1 = cfg.b_d.min(d - i);
-            let t0 = obskit::enabled().then(std::time::Instant::now);
+            let t0 = obs::block_timer();
             let mut nnz_b = 0usize;
             for kl in 0..n1 {
                 let (rows, vals) = a.col(j0 + kl);
@@ -57,11 +57,18 @@ where
                 }
             }
             if let Some(t0) = t0 {
-                obskit::hist_record_ns(
-                    "sketch/alg3_par_cols/block",
+                obs::block_done::<T>(
+                    obs::BlockObs {
+                        path: "sketch/alg3_par_cols/block",
+                        i,
+                        j: j0,
+                        d1,
+                        n1,
+                        nnz: nnz_b,
+                        rows_hit: None,
+                    },
                     t0.elapsed().as_nanos() as u64,
                 );
-                obs::count_block::<T>(d1, n1, nnz_b);
             }
             i += cfg.b_d;
         }
@@ -127,7 +134,7 @@ where
         let mut j = 0;
         while j < n {
             let n1 = cfg.b_n.min(n - j);
-            let t0 = obskit::enabled().then(std::time::Instant::now);
+            let t0 = obs::block_timer();
             let mut nnz_b = 0usize;
             for k in j..j + n1 {
                 let (rows, vals) = a.col(k);
@@ -139,11 +146,18 @@ where
                 }
             }
             if let Some(t0) = t0 {
-                obskit::hist_record_ns(
-                    "sketch/alg3_par_rows/block",
+                obs::block_done::<T>(
+                    obs::BlockObs {
+                        path: "sketch/alg3_par_rows/block",
+                        i,
+                        j,
+                        d1,
+                        n1,
+                        nnz: nnz_b,
+                        rows_hit: None,
+                    },
                     t0.elapsed().as_nanos() as u64,
                 );
-                obs::count_block::<T>(d1, n1, nnz_b);
             }
             j += cfg.b_n;
         }
@@ -180,7 +194,7 @@ where
         for b in 0..a.nblocks() {
             let csr = a.block(b);
             let j0 = a.block_col_offset(b);
-            let t0 = obskit::enabled().then(std::time::Instant::now);
+            let t0 = obs::block_timer();
             let mut rows_hit = 0usize;
             for j in 0..csr.nrows() {
                 let (cols, vals) = csr.row(j);
@@ -198,11 +212,18 @@ where
                 }
             }
             if let Some(t0) = t0 {
-                obskit::hist_record_ns(
-                    "sketch/alg4_par_rows/block",
+                obs::block_done::<T>(
+                    obs::BlockObs {
+                        path: "sketch/alg4_par_rows/block",
+                        i,
+                        j: j0,
+                        d1,
+                        n1: csr.ncols(),
+                        nnz: csr.nnz(),
+                        rows_hit: Some(rows_hit),
+                    },
                     t0.elapsed().as_nanos() as u64,
                 );
-                obs::count_block_alg4::<T>(d1, csr.ncols(), csr.nnz(), rows_hit);
             }
         }
     });
@@ -227,7 +248,7 @@ where
         while i < d {
             let d1 = cfg.b_d.min(d - i);
             let vv = &mut v[..d1];
-            let t0 = obskit::enabled().then(std::time::Instant::now);
+            let t0 = obs::block_timer();
             let mut rows_hit = 0usize;
             for j in 0..csr.nrows() {
                 let (cols, vals) = csr.row(j);
@@ -245,11 +266,18 @@ where
                 }
             }
             if let Some(t0) = t0 {
-                obskit::hist_record_ns(
-                    "sketch/alg4_par_cols/block",
+                obs::block_done::<T>(
+                    obs::BlockObs {
+                        path: "sketch/alg4_par_cols/block",
+                        i,
+                        j: a.block_col_offset(b),
+                        d1,
+                        n1: panel.len() / d,
+                        nnz: csr.nnz(),
+                        rows_hit: Some(rows_hit),
+                    },
                     t0.elapsed().as_nanos() as u64,
                 );
-                obs::count_block_alg4::<T>(d1, panel.len() / d, csr.nnz(), rows_hit);
             }
             i += cfg.b_d;
         }

@@ -20,9 +20,28 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== rustfmt check =="
 cargo fmt --all -- --check
 
+echo "== trace smoke (repro --trace-out: balanced Perfetto spans, flamegraph SVG) =="
+TRACE_TMP="$(mktemp /tmp/trace_verify_XXXXXX.json)"
+FOLDED_TMP="$(mktemp /tmp/folded_verify_XXXXXX.txt)"
+trap 'rm -f "$TRACE_TMP" "$FOLDED_TMP" "$FOLDED_TMP.svg"' EXIT
+./target/release/repro smoke --trace-out "$TRACE_TMP" --trace-folded "$FOLDED_TMP"
+B_COUNT="$(grep -c '"ph":"B"' "$TRACE_TMP")"
+E_COUNT="$(grep -c '"ph":"E"' "$TRACE_TMP")"
+if [ "$B_COUNT" -ne "$E_COUNT" ] || [ "$B_COUNT" -eq 0 ]; then
+  echo "verify: trace span pairs unbalanced or empty (B=$B_COUNT E=$E_COUNT)" >&2
+  exit 1
+fi
+grep -q '"nnz":' "$TRACE_TMP" || { echo "verify: no annotated kernel blocks in trace" >&2; exit 1; }
+grep -q '"model_ns":' "$TRACE_TMP" || { echo "verify: no model predictions in trace" >&2; exit 1; }
+grep -q '</svg>' "$FOLDED_TMP.svg" || { echo "verify: flamegraph SVG not written" >&2; exit 1; }
+echo "trace smoke ok: $B_COUNT balanced span pairs, blocks annotated, SVG rendered"
+
+echo "== benchgate suite listing =="
+./target/release/benchgate list --quick
+
 echo "== benchgate self-check (record at smoke scale, compare back, expect pass) =="
 BENCHGATE_TMP="$(mktemp /tmp/benchgate_verify_XXXXXX.json)"
-trap 'rm -f "$BENCHGATE_TMP"' EXIT
+trap 'rm -f "$BENCHGATE_TMP" "$TRACE_TMP" "$FOLDED_TMP" "$FOLDED_TMP.svg"' EXIT
 ./target/release/benchgate record --quick --out "$BENCHGATE_TMP"
 # Generous --rel-tol: this exercises the record→parse→compare machinery and
 # the bitwise counter cross-check; it must not flake on hypervisor steal

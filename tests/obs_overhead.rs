@@ -13,6 +13,11 @@
 use rngkit::{FastRng, UnitUniform};
 use sketchcore::{sketch_alg3, SketchConfig};
 
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
 #[test]
 #[ignore = "timing measurement; run manually on an idle host"]
 fn gate_off_alg3_overhead_is_negligible() {
@@ -42,11 +47,7 @@ fn gate_off_alg3_overhead_is_negligible() {
         on.push(run());
     }
     obskit::set_enabled(true);
-    let med = |v: &mut Vec<f64>| {
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        v[v.len() / 2]
-    };
-    let (t_off, t_on) = (med(&mut off), med(&mut on));
+    let (t_off, t_on) = (median(&mut off), median(&mut on));
     println!(
         "alg3 gate-off median {t_off:.4}s, gate-on median {t_on:.4}s, off/on {:.4}",
         t_off / t_on
@@ -57,5 +58,55 @@ fn gate_off_alg3_overhead_is_negligible() {
     assert!(
         t_off <= t_on * 1.10,
         "gate-off alg3 slower than gate-on beyond noise: {t_off:.4}s vs {t_on:.4}s"
+    );
+}
+
+/// The flight recorder's version of the same contract: with tracing compiled
+/// in (it always is — there is no feature gate on `obskit::trace`) but not
+/// armed, Algorithm 3 must run at the speed of a trace-armed run or better.
+/// The disabled path is the same single relaxed load `any_enabled()` the
+/// aggregate gate uses, so arming the recorder is the only thing that may
+/// add work.
+#[test]
+#[ignore = "timing measurement; run manually on an idle host"]
+fn trace_disabled_alg3_overhead_is_negligible() {
+    let a = datagen::uniform_random::<f64>(50_000, 1_000, 2e-3, 7);
+    let cfg = SketchConfig::new(2 * a.ncols(), 3000, 500, 7);
+    let sampler = UnitUniform::<f64>::sampler(FastRng::new(cfg.seed));
+
+    // Aggregate telemetry off throughout: this measures the recorder alone.
+    obskit::set_enabled(false);
+    let run = || {
+        let t0 = std::time::Instant::now();
+        let x = sketch_alg3(&a, &cfg, &sampler);
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(&x);
+        dt
+    };
+
+    obskit::trace::set_enabled(false);
+    run();
+    obskit::trace::set_enabled(true);
+    run();
+    let (mut off, mut on) = (Vec::new(), Vec::new());
+    for _ in 0..5 {
+        obskit::trace::set_enabled(false);
+        off.push(run());
+        obskit::trace::set_enabled(true);
+        on.push(run());
+        // Drain between reps so the armed runs never hit ring eviction.
+        let _ = obskit::trace::take();
+    }
+    obskit::trace::set_enabled(false);
+    let _ = obskit::trace::take();
+    obskit::set_enabled(true);
+    let (t_off, t_on) = (median(&mut off), median(&mut on));
+    println!(
+        "alg3 trace-off median {t_off:.4}s, trace-on median {t_on:.4}s, off/on {:.4}",
+        t_off / t_on
+    );
+    assert!(
+        t_off <= t_on * 1.10,
+        "trace-disabled alg3 slower than trace-armed beyond noise: {t_off:.4}s vs {t_on:.4}s"
     );
 }
