@@ -16,6 +16,7 @@ fn bench(c: &mut Criterion) {
         atol: 1e-14,
         btol: 1e-14,
         max_iters: 50_000,
+        stall_window: 0,
     };
 
     let mut g = c.benchmark_group("table9");

@@ -194,6 +194,7 @@ pub fn suite(scale: usize) -> Vec<Scenario> {
                     atol: 1e-12,
                     btol: 1e-12,
                     max_iters: 10_000,
+                    stall_window: 0,
                 };
                 std::hint::black_box(solve_lsqr_d(&a, &b, &opts));
             }),
@@ -599,10 +600,15 @@ fn counters_to_json(counters: &[u64; NCTR]) -> Jval {
 fn counters_from_json(v: &Jval) -> Result<[u64; NCTR], String> {
     let mut out = [0u64; NCTR];
     for (slot, name) in CTR_NAMES.iter().enumerate() {
-        out[slot] = v
-            .get(name)
-            .and_then(Jval::as_u64)
-            .ok_or_else(|| format!("counters missing field {name}"))?;
+        // Absent names default to 0: baselines recorded before a counter
+        // existed (the set grows over time) stay loadable, and the JSONL
+        // writer skips zero-valued counters anyway.
+        out[slot] = match v.get(name) {
+            Some(field) => field
+                .as_u64()
+                .ok_or_else(|| format!("counter field {name} is not an integer"))?,
+            None => 0,
+        };
     }
     Ok(out)
 }
@@ -1056,7 +1062,7 @@ mod tests {
 
     #[test]
     fn baseline_json_round_trips_every_field() {
-        let mut sc = tiny_result("alg3_tall", 123_456, 789, [7, 6, 5, 4, 3, 2]);
+        let mut sc = tiny_result("alg3_tall", 123_456, 789, [7, 6, 5, 4, 3, 2, 9, 8, 1]);
         sc.reps_ns = vec![123_000, 123_456, 999_999];
         sc.min_ns = 123_000;
         sc.hists = vec![HistSummary {

@@ -13,6 +13,7 @@
 //! self-contained table; `repro all` regenerates everything for
 //! EXPERIMENTS.md.
 
+pub mod chaos;
 pub mod extensions;
 pub mod figures;
 pub mod flame;

@@ -42,6 +42,7 @@ fn sap_opts(p: &LsqProblem, _rc: &RunConfig) -> SapOptions {
             atol: 1e-14,
             btol: 1e-14,
             max_iters: 200_000,
+            stall_window: 0,
         },
     }
 }
@@ -58,6 +59,7 @@ pub fn run_solvers(p: &LsqProblem, rc: &RunConfig) -> SolverRun {
             atol: 1e-14,
             btol: 1e-14,
             max_iters: 200_000,
+            stall_window: 0,
         },
     );
     let t_lsqr_d = t0.elapsed().as_secs_f64();

@@ -12,6 +12,13 @@
 //! * **Abnormal_C** — every `stride`-th column dense, all other columns
 //!   zero. Worst case for Algorithm 4: every row of every touched block is
 //!   nonempty but holds a single entry, so nothing is reused.
+//!
+//! Alongside the pattern study, this module also generates *numerically*
+//! abnormal inputs for the hardening tests: [`rank_deficient`] (exactly
+//! dependent columns, driving SAP's QR→SVD fallback), [`nan_laced`]
+//! (structurally valid but with NaN payloads, caught by `validate()`), and
+//! [`badly_scaled`] (column scales spanning many decades, stressing the
+//! preconditioner).
 
 use rngkit::{BlockRng, CheckpointRng, Xoshiro256PlusPlus};
 use sparsekit::{CooMatrix, CscMatrix, Scalar};
@@ -85,7 +92,10 @@ pub fn abnormal_b<T: Scalar>(
             placed += 1;
         }
     }
-    coo.to_csc().expect("generated indices are in bounds")
+    match coo.to_csc() {
+        Ok(a) => a,
+        Err(e) => unreachable!("generated indices are in bounds: {e}"),
+    }
 }
 
 /// Every `stride`-th column dense (columns `0, stride, …`), others zero.
@@ -103,6 +113,133 @@ pub fn abnormal_c<T: Scalar>(m: usize, n: usize, stride: usize, seed: u64) -> Cs
                 row_idx.push(r);
                 values.push(unit::<T, _>(&mut rng));
             }
+        }
+        col_ptr.push(row_idx.len());
+    }
+    CscMatrix::from_parts_unchecked(m, n, col_ptr, row_idx, values)
+}
+
+/// `k` sorted distinct row indices in `[0, m)`.
+fn sorted_rows<R: BlockRng>(rng: &mut R, m: usize, k: usize) -> Vec<usize> {
+    let mut rows = std::collections::BTreeSet::new();
+    while rows.len() < k.min(m) {
+        rows.insert((rng.next_u64() % m as u64) as usize);
+    }
+    rows.into_iter().collect()
+}
+
+/// A tall sparse matrix with numerical rank exactly `rank`: the first
+/// `rank` columns are independent random sparse columns, and every later
+/// column `j` is column `j % rank` scaled by `1 + j/rank` — exactly
+/// dependent, so a sketch of it is rank-deficient too (the input SAP's
+/// QR rank check must detect).
+pub fn rank_deficient<T: Scalar>(
+    m: usize,
+    n: usize,
+    rank: usize,
+    nnz_per_col: usize,
+    seed: u64,
+) -> CscMatrix<T> {
+    assert!(rank > 0 && rank <= n, "need 0 < rank <= n");
+    assert!(nnz_per_col > 0, "need at least one entry per column");
+    let mut rng = CheckpointRng::<Xoshiro256PlusPlus>::new(seed);
+    let mut base: Vec<(Vec<usize>, Vec<f64>)> = Vec::with_capacity(rank);
+    for j in 0..rank {
+        rng.set_state(0, j);
+        let rows = sorted_rows(&mut rng, m, nnz_per_col);
+        // Shift away from zero so a column never degenerates to all-zeros.
+        let vals = rows
+            .iter()
+            .map(|_| 0.5 + rngkit::u64_to_unit_f64(rng.next_u64()))
+            .collect();
+        base.push((rows, vals));
+    }
+    let mut col_ptr = Vec::with_capacity(n + 1);
+    col_ptr.push(0);
+    let mut row_idx = Vec::with_capacity(n * nnz_per_col);
+    let mut values = Vec::with_capacity(n * nnz_per_col);
+    for j in 0..n {
+        let (rows, vals) = &base[j % rank];
+        let scale = 1.0 + (j / rank) as f64;
+        row_idx.extend_from_slice(rows);
+        values.extend(vals.iter().map(|&v| T::from_f64(v * scale)));
+        col_ptr.push(row_idx.len());
+    }
+    CscMatrix::from_parts_unchecked(m, n, col_ptr, row_idx, values)
+}
+
+/// A structurally valid random sparse matrix with `lace_count` of its
+/// stored values replaced by NaN. Construction succeeds (the CSC invariants
+/// hold); `CscMatrix::validate` and the hardened drivers reject it with a
+/// `NotFinite` error.
+pub fn nan_laced<T: Scalar>(
+    m: usize,
+    n: usize,
+    nnz_per_col: usize,
+    lace_count: usize,
+    seed: u64,
+) -> CscMatrix<T> {
+    assert!(nnz_per_col > 0, "need at least one entry per column");
+    let mut rng = CheckpointRng::<Xoshiro256PlusPlus>::new(seed);
+    let mut col_ptr = Vec::with_capacity(n + 1);
+    col_ptr.push(0);
+    let mut row_idx = Vec::with_capacity(n * nnz_per_col);
+    let mut values: Vec<T> = Vec::with_capacity(n * nnz_per_col);
+    for j in 0..n {
+        rng.set_state(0, j);
+        let rows = sorted_rows(&mut rng, m, nnz_per_col);
+        for &r in &rows {
+            row_idx.push(r);
+            values.push(unit::<T, _>(&mut rng));
+        }
+        col_ptr.push(row_idx.len());
+    }
+    let nnz = values.len();
+    if nnz > 0 {
+        rng.set_state(1, 0);
+        for _ in 0..lace_count {
+            let at = (rng.next_u64() % nnz as u64) as usize;
+            values[at] = T::from_f64(f64::NAN);
+        }
+    }
+    CscMatrix::from_parts_unchecked(m, n, col_ptr, row_idx, values)
+}
+
+/// A full-rank random sparse matrix whose column norms span `decades`
+/// orders of magnitude (column `j` scaled by `10^(-decades·j/(n-1))`) —
+/// conditioning that diagonal equilibration can remove but that stresses
+/// raw LSQR and the sketch factorization.
+pub fn badly_scaled<T: Scalar>(
+    m: usize,
+    n: usize,
+    nnz_per_col: usize,
+    decades: f64,
+    seed: u64,
+) -> CscMatrix<T> {
+    assert!(nnz_per_col > 0, "need at least one entry per column");
+    assert!(n >= 2, "need at least two columns to spread scales");
+    let mut rng = CheckpointRng::<Xoshiro256PlusPlus>::new(seed);
+    let mut col_ptr = Vec::with_capacity(n + 1);
+    col_ptr.push(0);
+    let mut row_idx = Vec::new();
+    let mut values: Vec<T> = Vec::new();
+    for j in 0..n {
+        rng.set_state(0, j);
+        let scale = 10f64.powf(-decades * j as f64 / (n - 1) as f64);
+        // A diagonal anchor keeps the matrix full rank despite the scaling.
+        let mut rows = sorted_rows(&mut rng, m, nnz_per_col);
+        if j < m && !rows.contains(&j) {
+            rows.push(j);
+            rows.sort_unstable();
+        }
+        for &r in &rows {
+            row_idx.push(r);
+            let v = if r == j {
+                2.0
+            } else {
+                rngkit::u64_to_unit_f64(rng.next_u64()) * 2.0 - 1.0
+            };
+            values.push(T::from_f64(v * scale));
         }
         col_ptr.push(row_idx.len());
     }
@@ -182,5 +319,56 @@ mod tests {
     #[should_panic(expected = "stride")]
     fn zero_stride_rejected() {
         let _ = abnormal_a::<f64>(10, 10, 0, 0);
+    }
+
+    #[test]
+    fn rank_deficient_columns_exactly_dependent() {
+        let a = rank_deficient::<f64>(60, 12, 4, 5, 7);
+        assert!(a.validate().is_ok());
+        // Column 4 must be column 0 scaled by 2 (j/rank = 1).
+        let (p, idx, vals) = (a.col_ptr(), a.row_idx(), a.values());
+        let c0: Vec<_> = (p[0]..p[1]).map(|k| (idx[k], vals[k])).collect();
+        let c4: Vec<_> = (p[4]..p[5]).map(|k| (idx[k], vals[k])).collect();
+        assert_eq!(c0.len(), c4.len());
+        for ((r0, v0), (r4, v4)) in c0.iter().zip(c4.iter()) {
+            assert_eq!(r0, r4);
+            assert!((v4 - 2.0 * v0).abs() < 1e-15);
+        }
+        assert_eq!(a, rank_deficient::<f64>(60, 12, 4, 5, 7));
+    }
+
+    #[test]
+    fn nan_laced_fails_validation_only_on_values() {
+        let a = nan_laced::<f64>(50, 10, 4, 3, 11);
+        // Structure is sound…
+        assert!(CscMatrix::try_new(
+            50,
+            10,
+            a.col_ptr().to_vec(),
+            a.row_idx().to_vec(),
+            a.values().to_vec()
+        )
+        .is_ok());
+        // …but the full validation catches the NaNs.
+        assert!(matches!(
+            a.validate(),
+            Err(sparsekit::SparseError::NotFinite { .. })
+        ));
+        assert!(a.values().iter().any(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn badly_scaled_spans_decades() {
+        let a = badly_scaled::<f64>(80, 16, 4, 10.0, 13);
+        assert!(a.validate().is_ok());
+        let norm = |j: usize| {
+            let (p, vals) = (a.col_ptr(), a.values());
+            (p[j]..p[j + 1])
+                .map(|k| vals[k] * vals[k])
+                .sum::<f64>()
+                .sqrt()
+        };
+        let ratio = norm(0) / norm(15);
+        assert!(ratio > 1e9, "column-scale span only {ratio:.3e}");
     }
 }

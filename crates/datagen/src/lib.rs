@@ -29,7 +29,7 @@ pub mod rhs;
 pub mod suite;
 pub mod uniform;
 
-pub use abnormal::{abnormal_a, abnormal_b, abnormal_c};
+pub use abnormal::{abnormal_a, abnormal_b, abnormal_c, badly_scaled, nan_laced, rank_deficient};
 pub use lsq::{lsq_suite, tall_conditioned, CondKind, CondSpec, LsqProblem};
 pub use rhs::make_rhs;
 pub use suite::{spmm_suite, NamedMatrix};

@@ -310,7 +310,10 @@ fn duplicate_columns(base: &CscMatrix<f64>, eps: f64, seed: u64) -> CscMatrix<f6
             }
         }
     }
-    coo.to_csc().expect("bounds preserved")
+    match coo.to_csc() {
+        Ok(a) => a,
+        Err(e) => unreachable!("bounds preserved: {e}"),
+    }
 }
 
 /// Add `1.0` at `(j + shift, j)` for every column `j`, ensuring nonempty
@@ -335,7 +338,10 @@ fn ensure_structural_rank<T: Scalar>(a: CscMatrix<T>, seed: u64) -> CscMatrix<T>
             coo.push_unchecked(diag_row, j, T::ONE);
         }
     }
-    coo.to_csc().expect("bounds preserved")
+    match coo.to_csc() {
+        Ok(a) => a,
+        Err(e) => unreachable!("bounds preserved: {e}"),
+    }
 }
 
 /// The per-matrix recipes, calibrated to the published cond / cond(AD).

@@ -105,7 +105,10 @@ pub fn boundary_like<T: Scalar>(m: usize, n: usize, k: usize, seed: u64) -> CscM
             coo.push_unchecked(i, c, v);
         }
     }
-    coo.to_csc().expect("indices in bounds by construction")
+    match coo.to_csc() {
+        Ok(a) => a,
+        Err(e) => unreachable!("indices in bounds by construction: {e}"),
+    }
 }
 
 /// Mesh style: each row holds `k_min..=k_max` real entries clustered near
@@ -140,7 +143,10 @@ pub fn mesh_like<T: Scalar>(
             coo.push_unchecked(i, c, v);
         }
     }
-    coo.to_csc().expect("indices in bounds by construction")
+    match coo.to_csc() {
+        Ok(a) => a,
+        Err(e) => unreachable!("indices in bounds by construction: {e}"),
+    }
 }
 
 /// Generate the full Table I suite at dimension divisor `scale` (≥ 1):

@@ -28,7 +28,9 @@ impl<T: Scalar> HouseholderQr<T> {
         for k in 0..n {
             // Build the reflector annihilating qr[k+1.., k].
             let col = qr.col_mut(k);
-            let (head, tail) = col[k..].split_first_mut().expect("m >= n > k");
+            let Some((head, tail)) = col[k..].split_first_mut() else {
+                unreachable!("m >= n > k, so the column tail is nonempty");
+            };
             let mut sigma = T::ZERO;
             for &v in tail.iter() {
                 sigma = v.mul_add(v, sigma);

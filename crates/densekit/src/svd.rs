@@ -197,7 +197,11 @@ impl<T: Scalar> ThinSvd<T> {
             }
         }
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
+        order.sort_by(|&i, &j| {
+            sigma[j]
+                .partial_cmp(&sigma[i])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let sigma_sorted: Vec<T> = order.iter().map(|&k| sigma[k]).collect();
         let v_sorted = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
 

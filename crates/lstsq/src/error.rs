@@ -1,0 +1,105 @@
+//! Typed failures of the least-squares layer.
+
+use sketchcore::SketchError;
+
+/// Why a hardened SAP solve failed (terminally — transient faults are
+/// retried by [`crate::try_solve_sap`]'s escalation loop first).
+#[derive(Debug)]
+pub enum SolveError {
+    /// The sketch phase failed (invalid input, budget, worker panic, …).
+    Sketch(SketchError),
+    /// Right-hand side length disagrees with the matrix.
+    DimensionMismatch {
+        /// Expected extent (`a.nrows()`).
+        expected: usize,
+        /// Actual extent (`b.len()`).
+        got: usize,
+    },
+    /// The sketch factorization (QR or SVD) panicked or produced a
+    /// non-finite factor.
+    FactorizationFailed {
+        /// What went wrong, stringified.
+        detail: String,
+    },
+    /// The sketch has numerical rank zero — every column of the input is
+    /// (numerically) zero, so no preconditioner can be built.
+    RankDeficient {
+        /// Numerical rank retained.
+        rank: usize,
+        /// Number of columns.
+        n: usize,
+    },
+    /// LSQR made no progress over a full stall window.
+    Stagnated {
+        /// Iterations performed before giving up.
+        iters: usize,
+        /// Best relative normal-equation residual reached.
+        best_rel_atr: f64,
+    },
+    /// LSQR produced non-finite iterates (broken preconditioner or
+    /// poisoned data).
+    Diverged {
+        /// Iterations performed before the blow-up.
+        iters: usize,
+    },
+    /// Bounded escalation (γ doubling, re-seeding, QR→SVD fallback) ran out
+    /// of attempts; carries the last attempt's failure.
+    RecoveryExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The failure of the final attempt.
+        last: Box<SolveError>,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Sketch(e) => write!(f, "sketch phase failed: {e}"),
+            SolveError::DimensionMismatch { expected, got } => {
+                write!(f, "rhs length mismatch: expected {expected}, got {got}")
+            }
+            SolveError::FactorizationFailed { detail } => {
+                write!(f, "sketch factorization failed: {detail}")
+            }
+            SolveError::RankDeficient { rank, n } => {
+                write!(f, "sketch rank {rank} of {n} — cannot precondition")
+            }
+            SolveError::Stagnated {
+                iters,
+                best_rel_atr,
+            } => write!(
+                f,
+                "LSQR stagnated after {iters} iterations (best rel ‖Aᵀr‖ {best_rel_atr:.3e})"
+            ),
+            SolveError::Diverged { iters } => {
+                write!(
+                    f,
+                    "LSQR diverged (non-finite iterates) after {iters} iterations"
+                )
+            }
+            SolveError::RecoveryExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "recovery exhausted after {attempts} attempts; last: {last}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::Sketch(e) => Some(e),
+            SolveError::RecoveryExhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<SketchError> for SolveError {
+    fn from(e: SketchError) -> Self {
+        SolveError::Sketch(e)
+    }
+}

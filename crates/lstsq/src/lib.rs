@@ -18,6 +18,7 @@
 //! The error metric of Table X, `‖Aᵀ(Ax−b)‖ / (‖A‖_F·‖Ax−b‖)`, lives in
 //! [`metrics`].
 
+pub mod error;
 pub mod lsmr;
 pub mod lsqr;
 pub mod lsrn;
@@ -29,6 +30,7 @@ pub mod precond;
 pub mod sap;
 pub mod sparse_qr;
 
+pub use error::SolveError;
 pub use lsmr::{lsmr, LsmrOptions, LsmrResult};
 pub use lsqr::{lsqr, LsqrOptions, LsqrResult, StopReason};
 pub use lsrn::{solve_lsrn, LsrnReport, LsrnSketch};
@@ -37,5 +39,8 @@ pub use minnorm::{solve_min_norm_sap, MinNormReport};
 pub use normal::{solve_normal_equations, NormalEqReport};
 pub use op::{CsbOp, CscOp, LinOp, PrecondOp};
 pub use precond::{DiagPrecond, IdentityPrecond, Preconditioner, SvdPrecond, UpperTriPrecond};
-pub use sap::{solve_lsqr_d, solve_sap, SapFlavor, SapOptions, SapReport};
+pub use sap::{
+    solve_lsqr_d, solve_sap, try_solve_sap, try_solve_sap_with, RecoveryPolicy, SapFlavor,
+    SapOptions, SapReport,
+};
 pub use sparse_qr::{sparse_qr_solve, SparseQrReport};

@@ -21,6 +21,13 @@ pub enum StopReason {
     ResidualZero,
     /// Iteration limit reached.
     MaxIters,
+    /// No improvement of the best `‖Aᵀr‖/(‖A‖·‖r‖)` for a full
+    /// [`LsqrOptions::stall_window`] — the solver is grinding without
+    /// converging (e.g. a broken preconditioner).
+    Stagnated,
+    /// An iterate went non-finite — poisoned data or a singular
+    /// preconditioner. Iteration cannot recover; stop immediately.
+    Diverged,
 }
 
 /// LSQR options.
@@ -32,6 +39,11 @@ pub struct LsqrOptions {
     pub btol: f64,
     /// Iteration cap.
     pub max_iters: usize,
+    /// Stop with [`StopReason::Stagnated`] when the best
+    /// `‖Aᵀr‖/(‖A‖·‖r‖)` has not improved for this many consecutive
+    /// iterations. `0` disables the check (the default — plain solves keep
+    /// grinding to `max_iters`, as before).
+    pub stall_window: usize,
 }
 
 impl Default for LsqrOptions {
@@ -40,6 +52,7 @@ impl Default for LsqrOptions {
             atol: 1e-14,
             btol: 1e-14,
             max_iters: 100_000,
+            stall_window: 0,
         }
     }
 }
@@ -130,6 +143,8 @@ pub fn lsqr<A: LinOp>(op: &mut A, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
     let mut iters = 0;
     let mut stop = StopReason::MaxIters;
     let mut rel_atr = f64::INFINITY;
+    let mut best_rel_atr = f64::INFINITY;
+    let mut best_iter = 0usize;
 
     while iters < opts.max_iters {
         iters += 1;
@@ -184,12 +199,20 @@ pub fn lsqr<A: LinOp>(op: &mut A, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
         } else {
             0.0
         };
-        let stopping = if rnorm == 0.0 {
+        if rel_atr < best_rel_atr {
+            best_rel_atr = rel_atr;
+            best_iter = iters;
+        }
+        let stopping = if !rnorm.is_finite() || !alpha.is_finite() || !beta.is_finite() {
+            Some(StopReason::Diverged)
+        } else if rnorm == 0.0 {
             Some(StopReason::ResidualZero)
         } else if rel_atr <= opts.atol {
             Some(StopReason::AtolSatisfied)
         } else if rnorm <= opts.btol * bnorm + opts.atol * anorm * norm2(&x) {
             Some(StopReason::BtolSatisfied)
+        } else if opts.stall_window > 0 && iters - best_iter >= opts.stall_window {
+            Some(StopReason::Stagnated)
         } else {
             None
         };
@@ -326,6 +349,7 @@ mod tests {
                 atol: 1e-30,
                 btol: 1e-14,
                 max_iters: 3,
+                stall_window: 0,
             },
         );
         assert_eq!(r.iters, 3);
@@ -358,6 +382,7 @@ mod tests {
             atol: 1e-12,
             btol: 1e-14,
             max_iters: 10_000,
+            stall_window: 0,
         };
         let mut plain_op = CscOp::new(&a);
         let plain = lsqr(&mut plain_op, &b, &opts);

@@ -9,13 +9,16 @@
 //! is why the paper's SAP iteration counts sit near 80 for *every* matrix —
 //! the invariance the tests below check.
 
-use crate::lsqr::{lsqr, LsqrOptions, LsqrResult};
+use crate::error::SolveError;
+use crate::lsqr::{lsqr, LsqrOptions, LsqrResult, StopReason};
 use crate::op::{CscOp, PrecondOp};
 use crate::precond::{DiagPrecond, Preconditioner, SvdPrecond, UpperTriPrecond};
-use densekit::{householder_qr_r, ThinSvd};
+use densekit::{householder_qr_r, Matrix, ThinSvd};
 use rngkit::{FastRng, UnitUniform};
-use sketchcore::{sketch_alg3_par_cols, SketchConfig};
+use sketchcore::error::panic_payload_to_string;
+use sketchcore::{sketch_alg3_par_cols, try_sketch_alg3_par_cols, SketchConfig, SketchError};
 use sparsekit::CscMatrix;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Which factorization of the sketch to use.
@@ -80,6 +83,12 @@ pub struct SapReport {
     pub rank: usize,
     /// The raw LSQR diagnostics.
     pub lsqr_result: LsqrResult,
+    /// Escalation attempts consumed before this solve succeeded
+    /// ([`try_solve_sap`]; always 0 from [`solve_sap`]).
+    pub retries: u32,
+    /// Whether a rank-deficient QR was replaced by the SVD flavour
+    /// mid-attempt ([`try_solve_sap`]; always false from [`solve_sap`]).
+    pub fallback_svd: bool,
 }
 
 /// Solve `min ‖Ax − b‖₂` by sketch-and-precondition.
@@ -163,6 +172,273 @@ pub fn solve_sap(a: &CscMatrix<f64>, b: &[f64], opts: &SapOptions) -> SapReport 
         memory_bytes: sketch_bytes + factor_bytes,
         rank,
         lsqr_result: result,
+        retries: 0,
+        fallback_svd: false,
+    }
+}
+
+/// Bounds for [`try_solve_sap`]'s escalation loop.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryPolicy {
+    /// Maximum attempts. Attempt `k` doubles γ `k` times and shifts the
+    /// sketch seed, so a bad random draw cannot repeat.
+    pub max_attempts: u32,
+    /// LSQR stall window forwarded to [`LsqrOptions::stall_window`] (0
+    /// would disable stagnation detection entirely).
+    pub stall_window: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            stall_window: 500,
+        }
+    }
+}
+
+/// Is this failure worth another (escalated) attempt? Structural problems
+/// — corrupt input, wrong shapes, budget, zero rank — will not improve
+/// with a fresh sketch; transient ones might.
+fn retryable(e: &SolveError) -> bool {
+    matches!(
+        e,
+        SolveError::Sketch(SketchError::NonFiniteSketch { .. })
+            | SolveError::Sketch(SketchError::WorkerPanic(_))
+            | SolveError::FactorizationFailed { .. }
+            | SolveError::Stagnated { .. }
+            | SolveError::Diverged { .. }
+    )
+}
+
+/// Factor the sketch into a preconditioner, with typed failure and the
+/// QR→SVD rank-deficiency fallback.
+///
+/// Returns `(preconditioner, factor_bytes, rank, fell_back_to_svd)`.
+#[allow(clippy::type_complexity)]
+fn try_factor(
+    ahat: &Matrix<f64>,
+    flavor: SapFlavor,
+) -> Result<(Box<dyn Preconditioner>, usize, usize, bool), SolveError> {
+    let n = ahat.ncols();
+    match flavor {
+        SapFlavor::Qr => {
+            let r = catch_unwind(AssertUnwindSafe(|| householder_qr_r(ahat))).map_err(|p| {
+                SolveError::FactorizationFailed {
+                    detail: panic_payload_to_string(p.as_ref()),
+                }
+            })?;
+            // Rank check on diag(R): |R_jj| spans the column scales QR saw;
+            // a (near-)zero diagonal makes R⁻¹ useless as a preconditioner.
+            let mut dmin = f64::INFINITY;
+            let mut dmax = 0.0f64;
+            for j in 0..n {
+                let d = r.col(j)[j].abs();
+                if !d.is_finite() {
+                    return Err(SolveError::FactorizationFailed {
+                        detail: format!("non-finite R diagonal at column {j}"),
+                    });
+                }
+                dmin = dmin.min(d);
+                dmax = dmax.max(d);
+            }
+            if dmin <= dmax * 1e-12 || dmax == 0.0 {
+                // Rank-deficient sketch: fall back to the SVD flavour, which
+                // drops the null directions instead of dividing by them.
+                obskit::add(obskit::Ctr::SapFallbackSvd, 1);
+                let (p, bytes, rank, _) = try_factor(ahat, SapFlavor::Svd)?;
+                return Ok((p, bytes, rank, true));
+            }
+            let p = UpperTriPrecond::new(r);
+            let bytes = p.memory_bytes();
+            Ok((Box::new(p), bytes, n, false))
+        }
+        SapFlavor::Svd => {
+            let svd = catch_unwind(AssertUnwindSafe(|| ThinSvd::factor(ahat))).map_err(|p| {
+                SolveError::FactorizationFailed {
+                    detail: panic_payload_to_string(p.as_ref()),
+                }
+            })?;
+            let p = SvdPrecond::from_svd(&svd, 1e-12);
+            let rank = p.rank();
+            if rank == 0 {
+                return Err(SolveError::RankDeficient { rank: 0, n });
+            }
+            let bytes = p.memory_bytes();
+            Ok((Box::new(p), bytes, rank, false))
+        }
+    }
+}
+
+/// One hardened SAP attempt at a given oversampling and seed.
+fn sap_attempt(
+    a: &CscMatrix<f64>,
+    b: &[f64],
+    opts: &SapOptions,
+    gamma: usize,
+    seed: u64,
+    stall_window: usize,
+    t_start: Instant,
+) -> Result<SapReport, SolveError> {
+    let n = a.ncols();
+    let d = (gamma * n).max(n);
+
+    // Phase 1: sketch (validated input, budget-fitted blocks, output scan).
+    let t0 = Instant::now();
+    let cfg = SketchConfig::new(d, opts.b_d, opts.b_n, seed);
+    let sampler = UnitUniform::<f64>::sampler(FastRng::new(seed));
+    let mut ahat = {
+        let _sp = obskit::span("lstsq/sap/sketch");
+        try_sketch_alg3_par_cols(a, &cfg, &sampler)?
+    };
+    ahat.scale(1.0 / ((d as f64) / 3.0).sqrt());
+    let sketch_s = t0.elapsed().as_secs_f64();
+    let sketch_bytes = ahat.memory_bytes();
+
+    // Phase 2: factor, with rank-deficiency fallback.
+    let t1 = Instant::now();
+    let (precond, factor_bytes, rank, fallback_svd) = {
+        let _sp = obskit::span("lstsq/sap/factor");
+        try_factor(&ahat, opts.flavor)?
+    };
+    let factor_s = t1.elapsed().as_secs_f64();
+    drop(ahat);
+
+    // Phase 3: preconditioned LSQR with stagnation/divergence detection.
+    let t2 = Instant::now();
+    let lsqr_opts = LsqrOptions {
+        stall_window,
+        ..opts.lsqr
+    };
+    let mut aop = CscOp::new(a);
+    let mut pop = BoxedPrecondOp::new(&mut aop, precond.as_ref());
+    let result = {
+        let _sp = obskit::span("lstsq/sap/solve");
+        lsqr(&mut pop, b, &lsqr_opts)
+    };
+    match result.stop {
+        StopReason::Diverged => {
+            return Err(SolveError::Diverged {
+                iters: result.iters,
+            })
+        }
+        StopReason::Stagnated | StopReason::MaxIters => {
+            return Err(SolveError::Stagnated {
+                iters: result.iters,
+                best_rel_atr: result.rel_atr,
+            })
+        }
+        _ => {}
+    }
+    let mut x = vec![0.0; n];
+    precond.apply(&result.x, &mut x);
+    let solve_s = t2.elapsed().as_secs_f64();
+
+    obskit::event(
+        "sap",
+        vec![
+            ("flavor", obskit::Value::S(format!("{:?}", opts.flavor))),
+            ("n", obskit::Value::U(n as u64)),
+            ("d", obskit::Value::U(d as u64)),
+            ("iters", obskit::Value::U(result.iters as u64)),
+            ("sketch_s", obskit::Value::F(sketch_s)),
+            ("factor_s", obskit::Value::F(factor_s)),
+            ("solve_s", obskit::Value::F(solve_s)),
+        ],
+    );
+
+    Ok(SapReport {
+        x,
+        iters: result.iters,
+        sketch_s,
+        factor_s,
+        solve_s,
+        total_s: t_start.elapsed().as_secs_f64(),
+        memory_bytes: sketch_bytes + factor_bytes,
+        rank,
+        lsqr_result: result,
+        retries: 0,
+        fallback_svd,
+    })
+}
+
+/// Self-healing SAP: [`solve_sap`]'s pipeline with typed errors and bounded
+/// recovery under [`RecoveryPolicy::default`] (3 attempts, stall window 500).
+///
+/// Detection: invalid/corrupt input (via the hardened sketch path), sketch
+/// worker panics, factorization failure, rank deficiency (from `diag(R)`),
+/// LSQR stagnation and divergence. Recovery, per retry: γ doubles and the
+/// sketch seed shifts (a fresh, larger random draw), and a rank-deficient QR
+/// falls back to SVD *within* an attempt without consuming a retry. Each
+/// retry bumps the `sap.retries` counter; each fallback `sap.fallback_svd`.
+pub fn try_solve_sap(
+    a: &CscMatrix<f64>,
+    b: &[f64],
+    opts: &SapOptions,
+) -> Result<SapReport, SolveError> {
+    try_solve_sap_with(a, b, opts, &RecoveryPolicy::default())
+}
+
+/// [`try_solve_sap`] with explicit escalation bounds.
+pub fn try_solve_sap_with(
+    a: &CscMatrix<f64>,
+    b: &[f64],
+    opts: &SapOptions,
+    policy: &RecoveryPolicy,
+) -> Result<SapReport, SolveError> {
+    let _sp = obskit::span("lstsq/sap");
+    let t_start = Instant::now();
+    let n = a.ncols();
+    if n == 0 {
+        return Err(SolveError::RankDeficient { rank: 0, n: 0 });
+    }
+    if b.len() != a.nrows() {
+        return Err(SolveError::DimensionMismatch {
+            expected: a.nrows(),
+            got: b.len(),
+        });
+    }
+    let gamma = opts.gamma.max(1);
+    let attempts = policy.max_attempts.max(1);
+    let mut retries = 0u32;
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        let gamma_eff = gamma << attempt;
+        let seed = opts.seed.wrapping_add(attempt as u64);
+        match sap_attempt(a, b, opts, gamma_eff, seed, policy.stall_window, t_start) {
+            Ok(mut rep) => {
+                rep.retries = retries;
+                return Ok(rep);
+            }
+            Err(e) => {
+                if !retryable(&e) {
+                    return Err(e);
+                }
+                if attempt + 1 < attempts {
+                    retries += 1;
+                    obskit::add(obskit::Ctr::SapRetries, 1);
+                    obskit::event(
+                        "sap_retry",
+                        vec![
+                            ("attempt", obskit::Value::U(attempt as u64 + 1)),
+                            (
+                                "gamma_next",
+                                obskit::Value::U((gamma << (attempt + 1)) as u64),
+                            ),
+                            ("cause", obskit::Value::S(e.to_string())),
+                        ],
+                    );
+                }
+                last_err = Some(e);
+            }
+        }
+    }
+    match last_err {
+        Some(last) => Err(SolveError::RecoveryExhausted {
+            attempts,
+            last: Box::new(last),
+        }),
+        None => unreachable!("attempts >= 1, so the loop ran at least once"),
     }
 }
 
@@ -232,6 +508,7 @@ mod tests {
                 atol: 1e-14,
                 btol: 1e-14,
                 max_iters: 2000,
+                stall_window: 0,
             },
         }
     }
@@ -282,6 +559,7 @@ mod tests {
             atol: 1e-14,
             btol: 1e-14,
             max_iters: 20_000,
+            stall_window: 0,
         };
         let (_, diag) = solve_lsqr_d(&a, &b, &lsqr_opts);
         let sap = solve_sap(&a, &b, &opts(SapFlavor::Qr));
@@ -316,6 +594,7 @@ mod tests {
                 atol: 1e-14,
                 btol: 1e-14,
                 max_iters: 10_000,
+                stall_window: 0,
             },
         );
         assert!(backward_error(&a, &x, &b) < 1e-12);

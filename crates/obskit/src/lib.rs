@@ -59,10 +59,16 @@ pub enum Ctr {
     BytesOut = 4,
     /// Solver iterations performed (LSQR/LSMR).
     SolverIters = 5,
+    /// Self-healing SAP: recovery attempts (re-sketch with escalated γ).
+    SapRetries = 6,
+    /// Self-healing SAP: QR→SVD factorization fallbacks taken.
+    SapFallbackSvd = 7,
+    /// Memory-budget guard: block-size halvings applied to fit the budget.
+    BudgetDegradedBlocks = 8,
 }
 
 /// Number of counter slots.
-pub const NCTR: usize = 6;
+pub const NCTR: usize = 9;
 
 /// Counter names in slot order (JSONL and summary labels).
 pub const CTR_NAMES: [&str; NCTR] = [
@@ -72,6 +78,9 @@ pub const CTR_NAMES: [&str; NCTR] = [
     "bytes_a",
     "bytes_out",
     "solver_iters",
+    "sap.retries",
+    "sap.fallback_svd",
+    "budget.degraded_blocks",
 ];
 
 /// Hard cap on buffered events; beyond it events are counted as dropped
@@ -242,7 +251,7 @@ impl Hist {
                 ((mid - med).abs(), c)
             })
             .collect();
-        devs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        devs.sort_by(|a, b| a.0.total_cmp(&b.0));
         let rank = self.count.div_ceil(2);
         let mut seen = 0u64;
         for (d, c) in devs {
@@ -421,6 +430,15 @@ struct Registry {
     dropped_events: AtomicU64,
 }
 
+/// Take a telemetry mutex, recovering from poisoning. A poisoned lock here
+/// only means a panic (possibly an injected fault) unwound through a flush;
+/// the guarded maps hold plain additive aggregates with no cross-entry
+/// invariants, so the data stays usable and dropping it would lose
+/// telemetry the hardening tests assert on.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 fn registry() -> &'static Registry {
     static REG: OnceLock<Registry> = OnceLock::new();
     REG.get_or_init(|| Registry {
@@ -452,7 +470,7 @@ impl Local {
             }
         }
         if !self.spans.is_empty() {
-            let mut g = reg.spans.lock().unwrap();
+            let mut g = lock_clean(&reg.spans);
             for (path, s) in self.spans.drain() {
                 let e = g.entry(path).or_default();
                 e.ns += s.ns;
@@ -460,7 +478,7 @@ impl Local {
             }
         }
         if !self.hists.is_empty() {
-            let mut g = reg.hists.lock().unwrap();
+            let mut g = lock_clean(&reg.hists);
             for (path, h) in self.hists.drain() {
                 g.entry(path).or_default().merge(&h);
             }
@@ -581,7 +599,7 @@ pub fn event(kind: &'static str, fields: Vec<(&'static str, Value)>) {
     }
     let ts = epoch().elapsed().as_secs_f64();
     let reg = registry();
-    let mut ev = reg.events.lock().unwrap();
+    let mut ev = lock_clean(&reg.events);
     if ev.len() >= MAX_EVENTS {
         reg.dropped_events.fetch_add(1, Ordering::Relaxed);
         return;
@@ -693,18 +711,12 @@ pub struct Snapshot {
 pub fn snapshot() -> Snapshot {
     flush_thread();
     let reg = registry();
-    let mut spans: Vec<(String, SpanStat)> = reg
-        .spans
-        .lock()
-        .unwrap()
+    let mut spans: Vec<(String, SpanStat)> = lock_clean(&reg.spans)
         .iter()
         .map(|(k, v)| (k.to_string(), *v))
         .collect();
     spans.sort_by(|a, b| a.0.cmp(&b.0));
-    let mut hists: Vec<(String, Hist)> = reg
-        .hists
-        .lock()
-        .unwrap()
+    let mut hists: Vec<(String, Hist)> = lock_clean(&reg.hists)
         .iter()
         .map(|(k, v)| (k.to_string(), v.clone()))
         .collect();
@@ -713,7 +725,7 @@ pub fn snapshot() -> Snapshot {
         spans,
         hists,
         counters: std::array::from_fn(|i| reg.counters[i].load(Ordering::Relaxed)),
-        events: reg.events.lock().unwrap().clone(),
+        events: lock_clean(&reg.events).clone(),
         dropped_events: reg.dropped_events.load(Ordering::Relaxed),
     }
 }
@@ -730,12 +742,12 @@ pub fn reset() {
         l.hists.clear();
     });
     let reg = registry();
-    reg.spans.lock().unwrap().clear();
-    reg.hists.lock().unwrap().clear();
+    lock_clean(&reg.spans).clear();
+    lock_clean(&reg.hists).clear();
     for c in &reg.counters {
         c.store(0, Ordering::Relaxed);
     }
-    reg.events.lock().unwrap().clear();
+    lock_clean(&reg.events).clear();
     reg.dropped_events.store(0, Ordering::Relaxed);
 }
 

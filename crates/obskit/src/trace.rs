@@ -160,7 +160,7 @@ pub(super) fn flush_ring(ring: &mut TraceRing) {
     if ring.buf.is_empty() && ring.overwritten == 0 {
         return;
     }
-    let mut s = store().lock().unwrap();
+    let mut s = crate::lock_clean(store());
     s.dropped += std::mem::take(&mut ring.overwritten);
     s.events.extend_from_slice(&ring.buf[ring.head..]);
     s.events.extend_from_slice(&ring.buf[..ring.head]);
@@ -275,7 +275,7 @@ pub struct TraceCapture {
 /// recorder — `obskit::reset()` keeps the timeline on purpose.
 pub fn take() -> TraceCapture {
     super::flush_thread();
-    let mut s = store().lock().unwrap();
+    let mut s = crate::lock_clean(store());
     TraceCapture {
         events: std::mem::take(&mut s.events),
         dropped: std::mem::take(&mut s.dropped),
@@ -426,7 +426,7 @@ impl TraceCapture {
                     TraceKind::Counter => {}
                     _ => {
                         if stack.last().is_some_and(|b| b.path == ev.path) {
-                            let b = stack.pop().unwrap();
+                            let Some(b) = stack.pop() else { continue };
                             if ev.kind == TraceKind::BlockEnd {
                                 out.push(BlockRecord {
                                     path: ev.path,
@@ -507,10 +507,9 @@ impl TraceCapture {
                         lines.push(l);
                     }
                     _ => {
-                        if stack.last().is_none_or(|b| b.path != ev.path) {
+                        let Some(b) = stack.pop_if(|b| b.path == ev.path) else {
                             continue; // orphan close, Begin was evicted
-                        }
-                        let b = stack.pop().unwrap();
+                        };
                         let mut l = String::from("{\"name\":\"");
                         super::json_escape(&mut l, ev.path);
                         let _ = write!(
@@ -584,7 +583,7 @@ impl TraceCapture {
         for (_tid, evs) in per_tid(&self.events) {
             let mut stack: Vec<Frame> = Vec::new();
             let close_top = |stack: &mut Vec<Frame>, agg: &mut BTreeMap<String, u64>, end: u64| {
-                let f = stack.pop().expect("close_top on empty stack");
+                let Some(f) = stack.pop() else { return };
                 let total = end.saturating_sub(f.t0);
                 let self_ns = total.saturating_sub(f.child_ns);
                 if let Some(p) = stack.last_mut() {

@@ -17,9 +17,55 @@
 //! telemetry accumulated inside parallel regions is merged into the global
 //! registry exactly at the join point — the caller sees a consistent
 //! snapshot as soon as any parkit call returns.
+//!
+//! ## Panic behaviour
+//!
+//! A panic inside a worker does **not** abort the process. Each worker runs
+//! its items under `catch_unwind`; the first panic payload is stashed, the
+//! remaining workers stop claiming new items, every worker still flushes
+//! its thread-local telemetry (so counters and trace span pairs stay
+//! balanced), and the *original* payload is re-raised on the calling thread
+//! with `resume_unwind` once the scope has joined. Callers that need a
+//! typed error instead of a panic wrap the parkit call in their own
+//! `catch_unwind` (see sketchcore's hardened drivers).
+//!
+//! For fault-injection testing, every work item claim passes the
+//! `parkit/worker` faultkit site: arming it (e.g.
+//! `SKETCH_FAULTS=parkit/worker=once`) panics a worker at claim time,
+//! before any span opens, exercising exactly this recovery path.
 
+use std::any::Any;
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// First panic payload captured across a scope's workers.
+type PanicSlot = Mutex<Option<Box<dyn Any + Send>>>;
+
+/// Deterministic injected fault: panic a worker at item-claim time.
+#[inline]
+fn maybe_inject_worker_fault() {
+    if faultkit::fire("parkit/worker") {
+        panic!("faultkit: injected parkit/worker panic");
+    }
+}
+
+/// Stash `payload` if it is the first one; later panics are dropped (the
+/// caller can only re-raise one).
+fn stash_panic(slot: &PanicSlot, payload: Box<dyn Any + Send>) {
+    let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+    if guard.is_none() {
+        *guard = Some(payload);
+    }
+}
+
+/// Re-raise the stashed payload, if any, on the calling thread.
+fn rethrow(slot: PanicSlot) {
+    if let Some(p) = slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        resume_unwind(p);
+    }
+}
 
 thread_local! {
     static OVERRIDE: Cell<usize> = const { Cell::new(0) };
@@ -79,16 +125,22 @@ where
     let threads = current_threads().min(nchunks);
     if threads <= 1 {
         for (i, c) in slice.chunks_mut(chunk_len).enumerate() {
+            maybe_inject_worker_fault();
             f(i, c);
         }
         return;
     }
     let base = SendPtr(slice.as_mut_ptr());
     let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let panic_slot: PanicSlot = Mutex::new(None);
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| {
                 loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= nchunks {
                         break;
@@ -99,12 +151,23 @@ where
                     // `i` give disjoint ranges inside the borrowed slice, and
                     // the scope keeps the parent borrow alive past the join.
                     let c = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), n) };
-                    f(i, c);
+                    // AssertUnwindSafe: on panic the payload is re-raised on
+                    // the caller, which then cannot observe the half-written
+                    // chunk — same exposure as the pre-hardening abort path.
+                    if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                        maybe_inject_worker_fault();
+                        f(i, c);
+                    })) {
+                        abort.store(true, Ordering::Relaxed);
+                        stash_panic(&panic_slot, p);
+                        break;
+                    }
                 }
                 obskit::flush_thread();
             });
         }
     });
+    rethrow(panic_slot);
 }
 
 /// Consume `items`, running `f` on each in parallel (order unspecified).
@@ -120,6 +183,7 @@ where
     let threads = current_threads().min(n);
     if threads <= 1 {
         for it in items {
+            maybe_inject_worker_fault();
             f(it);
         }
         return;
@@ -129,16 +193,29 @@ where
     for (i, it) in items.into_iter().enumerate() {
         bins[i % threads].push(it);
     }
+    let abort = AtomicBool::new(false);
+    let panic_slot: PanicSlot = Mutex::new(None);
     std::thread::scope(|s| {
         for bin in bins {
             s.spawn(|| {
                 for it in bin {
-                    f(it);
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                        maybe_inject_worker_fault();
+                        f(it);
+                    })) {
+                        abort.store(true, Ordering::Relaxed);
+                        stash_panic(&panic_slot, p);
+                        break;
+                    }
                 }
                 obskit::flush_thread();
             });
         }
     });
+    rethrow(panic_slot);
 }
 
 /// Parallel indexed map: `(0..n).map(f).collect()`, preserving order.
@@ -152,32 +229,57 @@ where
     }
     let threads = current_threads().min(n);
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n)
+            .map(|i| {
+                maybe_inject_worker_fault();
+                f(i)
+            })
+            .collect();
     }
     let mut out: Vec<Option<R>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
     let base = SendPtr(out.as_mut_ptr());
     let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let panic_slot: PanicSlot = Mutex::new(None);
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| {
                 loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    let r = f(i);
-                    // SAFETY: slot `i` is written by exactly one worker (the
-                    // atomic index hands each `i` out once) and the scope
-                    // outlives all writes.
-                    unsafe { *base.get().add(i) = Some(r) };
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        maybe_inject_worker_fault();
+                        f(i)
+                    })) {
+                        // SAFETY: slot `i` is written by exactly one worker
+                        // (the atomic index hands each `i` out once) and the
+                        // scope outlives all writes.
+                        Ok(r) => unsafe { *base.get().add(i) = Some(r) },
+                        Err(p) => {
+                            abort.store(true, Ordering::Relaxed);
+                            stash_panic(&panic_slot, p);
+                            break;
+                        }
+                    }
                 }
                 obskit::flush_thread();
             });
         }
     });
+    rethrow(panic_slot);
     out.into_iter()
-        .map(|r| r.expect("every slot filled"))
+        .map(|r| match r {
+            Some(v) => v,
+            // rethrow() above re-raises if any worker panicked; a surviving
+            // empty slot would mean the atomic index skipped it.
+            None => unreachable!("map_collect slot unfilled after panic-free run"),
+        })
         .collect()
 }
 
@@ -194,12 +296,25 @@ where
     }
     std::thread::scope(|s| {
         let hb = s.spawn(|| {
-            let r = b();
+            let r = catch_unwind(AssertUnwindSafe(b));
             obskit::flush_thread();
             r
         });
-        let ra = a();
-        (ra, hb.join().expect("parkit::join worker panicked"))
+        // Run `a` caught as well so the spawned side is always joined before
+        // any unwind leaves this frame.
+        let ra = catch_unwind(AssertUnwindSafe(a));
+        let rb = match hb.join() {
+            Ok(r) => r,
+            // The worker closure is fully caught; a join error means the
+            // panic happened inside obskit::flush_thread itself.
+            Err(p) => Err(p),
+        };
+        match (ra, rb) {
+            (Ok(ra), Ok(rb)) => (ra, rb),
+            // Propagate the first panic with its original payload.
+            (Err(p), _) => resume_unwind(p),
+            (_, Err(p)) => resume_unwind(p),
+        }
     })
 }
 
@@ -290,6 +405,67 @@ mod tests {
         let (a, b) = join(|| 40 + 1, || "two");
         assert_eq!(a, 41);
         assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn worker_panic_payload_propagates() {
+        // The original payload (not a generic "worker panicked" string) must
+        // reach the caller, from every driver, at any thread count.
+        for threads in [1usize, 4] {
+            let caught = std::panic::catch_unwind(|| {
+                with_threads(threads, || {
+                    let mut v = vec![0u8; 64];
+                    for_each_chunk_mut(&mut v, 4, |i, _| {
+                        if i == 7 {
+                            std::panic::panic_any("chunk payload 7");
+                        }
+                    });
+                })
+            });
+            let p = caught.expect_err("panic must propagate");
+            assert_eq!(*p.downcast_ref::<&str>().unwrap(), "chunk payload 7");
+
+            let caught = std::panic::catch_unwind(|| {
+                with_threads(threads, || {
+                    map_collect(32, |i| {
+                        if i == 11 {
+                            std::panic::panic_any(String::from("map payload"));
+                        }
+                        i
+                    })
+                })
+            });
+            let p = caught.expect_err("panic must propagate");
+            assert_eq!(p.downcast_ref::<String>().unwrap(), "map payload");
+
+            let caught = std::panic::catch_unwind(|| {
+                with_threads(threads, || {
+                    for_each(vec![1, 2, 3], |x| {
+                        if x == 2 {
+                            std::panic::panic_any("item payload");
+                        }
+                    })
+                })
+            });
+            let p = caught.expect_err("panic must propagate");
+            assert_eq!(*p.downcast_ref::<&str>().unwrap(), "item payload");
+        }
+
+        // join: either side's payload survives.
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(2, || join(|| 1, || std::panic::panic_any("side b")))
+        });
+        assert_eq!(
+            *caught.unwrap_err().downcast_ref::<&str>().unwrap(),
+            "side b"
+        );
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(2, || join(|| std::panic::panic_any("side a"), || 2))
+        });
+        assert_eq!(
+            *caught.unwrap_err().downcast_ref::<&str>().unwrap(),
+            "side a"
+        );
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub fn lag1_autocorr(v: &[f64]) -> f64 {
 /// (Kolmogorov–Smirnov statistic). `v` is sorted internally.
 pub fn ks_normal(v: &[f64]) -> f64 {
     let mut s = v.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    s.sort_by(f64::total_cmp);
     let n = s.len() as f64;
     let mut d = 0.0f64;
     for (i, &x) in s.iter().enumerate() {

@@ -52,18 +52,24 @@ pub mod alg1;
 pub mod alg3;
 pub mod alg4;
 pub mod config;
+pub mod error;
 pub mod instrument;
 pub mod model;
 pub mod obs;
 pub mod parallel;
 pub mod pattern_model;
+pub mod robust;
 pub mod variants;
 
 pub use alg3::{sketch_alg3, sketch_alg3_signs};
 pub use alg4::{sketch_alg4, sketch_alg4_signs};
 pub use config::{flops, SketchConfig};
+pub use error::SketchError;
 pub use instrument::{sketch_alg3_instrumented, sketch_alg4_instrumented, SketchTiming};
 pub use model::{CostModel, ModelPrediction};
 pub use obs::TrafficReport;
 pub use parallel::{sketch_alg3_par_cols, sketch_alg3_par_rows, sketch_alg4_par_rows};
 pub use pattern_model::{predict_kernels, profile_pattern, tune_b_n, KernelCosts, PatternProfile};
+pub use robust::{
+    plan_blocks, try_sketch_alg3, try_sketch_alg3_par_cols, BudgetPlan, FaultSampler,
+};

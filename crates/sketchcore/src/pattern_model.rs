@@ -137,11 +137,14 @@ pub fn predict_kernels<T: Scalar>(
 /// minimize the number of random variables generated".
 pub fn tune_b_n<T: Scalar>(a: &CscMatrix<T>, candidates: &[usize]) -> (usize, u64) {
     assert!(!candidates.is_empty(), "need at least one candidate");
-    candidates
+    match candidates
         .iter()
         .map(|&b_n| (b_n, profile_pattern(a, b_n).nonempty_row_blocks))
         .min_by_key(|&(_, s)| s)
-        .expect("nonempty candidates")
+    {
+        Some(best) => best,
+        None => unreachable!("candidates asserted nonempty above"),
+    }
 }
 
 #[cfg(test)]

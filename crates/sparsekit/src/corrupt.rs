@@ -1,0 +1,223 @@
+//! Deterministic single-field corruptions of compressed matrices.
+//!
+//! The hardening layer's test surface: each [`Corruption`] breaks exactly
+//! one storage invariant of a well-formed matrix, at a position derived
+//! from a seed, so the validator property tests and the chaoscheck fault
+//! matrix can assert that [`crate::CscMatrix::validate`] /
+//! [`crate::CsrMatrix::validate`] reject the mutation with the *matching*
+//! [`crate::SparseError`] variant — not merely "some error".
+//!
+//! Corrupted matrices are built with `from_parts_unchecked`; they are
+//! poisoned objects whose only legitimate use is being fed to a validator
+//! or a hardened entry point.
+
+use crate::scalar::Scalar;
+use crate::{CscMatrix, CsrMatrix};
+
+/// A single-invariant mutation of a compressed matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Corruption {
+    /// Swap two adjacent inner indices within one slot (breaks strict
+    /// ordering; detected as `UnsortedIndices`).
+    SwapAdjacentIndices,
+    /// Push one inner index past the matrix dimension (detected as
+    /// `IndexOutOfBounds`).
+    OutOfBoundsIndex,
+    /// Raise one interior pointer above its successor (detected as
+    /// `NonMonotonePtr`).
+    NonMonotonePtr,
+    /// Replace one stored value with NaN (detected as `NotFinite`).
+    NanValue,
+    /// Replace one stored value with +∞ (detected as `NotFinite`).
+    InfValue,
+}
+
+impl Corruption {
+    /// Every corruption kind, in a fixed order (for sweep harnesses).
+    pub const ALL: [Corruption; 5] = [
+        Corruption::SwapAdjacentIndices,
+        Corruption::OutOfBoundsIndex,
+        Corruption::NonMonotonePtr,
+        Corruption::NanValue,
+        Corruption::InfValue,
+    ];
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn pick(seed: u64, n: usize) -> usize {
+    (splitmix64(seed) % n as u64) as usize
+}
+
+/// Apply `kind` to raw compressed arrays. Returns `false` (arrays untouched)
+/// when the matrix is too small to host that corruption.
+fn corrupt_parts<T: Scalar>(
+    inner_len: usize,
+    ptr: &mut [usize],
+    idx: &mut [usize],
+    values: &mut [T],
+    kind: Corruption,
+    seed: u64,
+) -> bool {
+    let outer_len = ptr.len() - 1;
+    match kind {
+        Corruption::SwapAdjacentIndices => {
+            // Need a slot with at least two entries.
+            let fat: Vec<usize> = (0..outer_len)
+                .filter(|&j| ptr[j + 1] - ptr[j] >= 2)
+                .collect();
+            if fat.is_empty() {
+                return false;
+            }
+            let j = fat[pick(seed, fat.len())];
+            let k = ptr[j] + pick(seed ^ 1, ptr[j + 1] - ptr[j] - 1);
+            idx.swap(k, k + 1);
+            true
+        }
+        Corruption::OutOfBoundsIndex => {
+            if idx.is_empty() {
+                return false;
+            }
+            let k = pick(seed, idx.len());
+            idx[k] = inner_len + pick(seed ^ 2, 7);
+            true
+        }
+        Corruption::NonMonotonePtr => {
+            if outer_len < 2 {
+                return false;
+            }
+            // Interior pointer k ∈ [1, outer_len): exceed its successor.
+            let k = 1 + pick(seed, outer_len - 1);
+            ptr[k] = ptr[k + 1] + 1 + pick(seed ^ 3, 5);
+            true
+        }
+        Corruption::NanValue | Corruption::InfValue => {
+            if values.is_empty() {
+                return false;
+            }
+            let k = pick(seed, values.len());
+            values[k] = if kind == Corruption::NanValue {
+                T::from_f64(f64::NAN)
+            } else {
+                T::from_f64(f64::INFINITY)
+            };
+            true
+        }
+    }
+}
+
+/// Return a copy of `a` with exactly one invariant broken, or `None` when
+/// the matrix is too small to host that corruption (e.g. swapping indices
+/// in a matrix with no slot of two entries).
+pub fn corrupt_csc<T: Scalar>(
+    a: &CscMatrix<T>,
+    kind: Corruption,
+    seed: u64,
+) -> Option<CscMatrix<T>> {
+    let mut ptr = a.col_ptr().to_vec();
+    let mut idx = a.row_idx().to_vec();
+    let mut values = a.values().to_vec();
+    corrupt_parts(a.nrows(), &mut ptr, &mut idx, &mut values, kind, seed)
+        .then(|| CscMatrix::from_parts_unchecked(a.nrows(), a.ncols(), ptr, idx, values))
+}
+
+/// CSR twin of [`corrupt_csc`].
+pub fn corrupt_csr<T: Scalar>(
+    a: &CsrMatrix<T>,
+    kind: Corruption,
+    seed: u64,
+) -> Option<CsrMatrix<T>> {
+    let mut ptr = a.row_ptr().to_vec();
+    let mut idx = a.col_idx().to_vec();
+    let mut values = a.values().to_vec();
+    corrupt_parts(a.ncols(), &mut ptr, &mut idx, &mut values, kind, seed)
+        .then(|| CsrMatrix::from_parts_unchecked(a.nrows(), a.ncols(), ptr, idx, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CooMatrix, SparseError};
+
+    fn sample() -> CscMatrix<f64> {
+        let mut coo = CooMatrix::new(6, 5);
+        for &(i, j, v) in &[
+            (0, 0, 1.0),
+            (3, 0, -2.0),
+            (1, 1, 3.0),
+            (4, 1, 0.5),
+            (5, 1, 2.5),
+            (2, 3, -1.0),
+            (0, 4, 4.0),
+            (5, 4, 1.5),
+        ] {
+            coo.push(i, j, v).unwrap();
+        }
+        coo.to_csc().unwrap()
+    }
+
+    #[test]
+    fn each_corruption_trips_the_matching_variant() {
+        let a = sample();
+        assert!(a.validate().is_ok());
+        for seed in 0..8u64 {
+            for kind in Corruption::ALL {
+                let bad = corrupt_csc(&a, kind, seed).expect("sample hosts all corruptions");
+                let err = bad.validate().expect_err("corruption must be rejected");
+                match kind {
+                    Corruption::SwapAdjacentIndices => {
+                        assert!(matches!(err, SparseError::UnsortedIndices { .. }), "{err}")
+                    }
+                    Corruption::OutOfBoundsIndex => {
+                        assert!(matches!(err, SparseError::IndexOutOfBounds { .. }), "{err}")
+                    }
+                    Corruption::NonMonotonePtr => {
+                        assert!(matches!(err, SparseError::NonMonotonePtr { .. }), "{err}")
+                    }
+                    Corruption::NanValue | Corruption::InfValue => {
+                        assert!(matches!(err, SparseError::NotFinite { .. }), "{err}")
+                    }
+                }
+                // Same seed, same corruption: deterministic (values compared
+                // bitwise — NaN payloads defeat PartialEq).
+                let again = corrupt_csc(&a, kind, seed).unwrap();
+                assert_eq!(bad.col_ptr(), again.col_ptr());
+                assert_eq!(bad.row_idx(), again.row_idx());
+                let bits = |m: &CscMatrix<f64>| -> Vec<u64> {
+                    m.values().iter().map(|v| v.to_bits()).collect()
+                };
+                assert_eq!(bits(&bad), bits(&again));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_corruptions_also_trip() {
+        let a = sample().to_csr();
+        assert!(a.validate().is_ok());
+        for kind in Corruption::ALL {
+            let bad = corrupt_csr(&a, kind, 3).expect("sample hosts all corruptions");
+            assert!(bad.validate().is_err(), "{kind:?} not rejected");
+        }
+    }
+
+    #[test]
+    fn degenerate_matrices_refuse_unhostable_corruptions() {
+        let z = CscMatrix::<f64>::zeros(3, 3);
+        assert!(corrupt_csc(&z, Corruption::SwapAdjacentIndices, 0).is_none());
+        assert!(corrupt_csc(&z, Corruption::OutOfBoundsIndex, 0).is_none());
+        assert!(corrupt_csc(&z, Corruption::NanValue, 0).is_none());
+        // Pointer corruption still possible (ptr array always exists).
+        let bad = corrupt_csc(&z, Corruption::NonMonotonePtr, 0).unwrap();
+        assert!(matches!(
+            bad.validate(),
+            Err(SparseError::NonMonotonePtr { .. })
+        ));
+    }
+}

@@ -7,7 +7,7 @@
 //! construction).
 
 use crate::scalar::Scalar;
-use crate::{CsrMatrix, Result, SparseError};
+use crate::{CsrMatrix, Result};
 
 /// Compressed sparse column matrix.
 #[derive(Clone, Debug, PartialEq)]
@@ -30,45 +30,15 @@ impl<T: Scalar> CscMatrix<T> {
         row_idx: Vec<usize>,
         values: Vec<T>,
     ) -> Result<Self> {
-        if col_ptr.len() != ncols + 1 {
-            return Err(SparseError::Malformed(format!(
-                "col_ptr length {} != ncols+1 = {}",
-                col_ptr.len(),
-                ncols + 1
-            )));
+        crate::validate::CompressedParts {
+            outer_len: ncols,
+            inner_len: nrows,
+            ptr: &col_ptr,
+            idx: &row_idx,
+            outer_is_col: true,
+            shape: (nrows, ncols),
         }
-        if col_ptr[0] != 0 || *col_ptr.last().unwrap() != row_idx.len() {
-            return Err(SparseError::Malformed(
-                "col_ptr endpoints must be 0 and nnz".into(),
-            ));
-        }
-        if row_idx.len() != values.len() {
-            return Err(SparseError::Malformed(
-                "row_idx and values lengths differ".into(),
-            ));
-        }
-        for j in 0..ncols {
-            if col_ptr[j] > col_ptr[j + 1] {
-                return Err(SparseError::Malformed(format!(
-                    "col_ptr not monotone at column {j}"
-                )));
-            }
-            let rows = &row_idx[col_ptr[j]..col_ptr[j + 1]];
-            for (k, &r) in rows.iter().enumerate() {
-                if r >= nrows {
-                    return Err(SparseError::IndexOutOfBounds {
-                        row: r,
-                        col: j,
-                        shape: (nrows, ncols),
-                    });
-                }
-                if k > 0 && rows[k - 1] >= r {
-                    return Err(SparseError::Malformed(format!(
-                        "rows not strictly increasing in column {j}"
-                    )));
-                }
-            }
-        }
+        .check_structure(values.len())?;
         Ok(Self {
             nrows,
             ncols,
@@ -76,6 +46,28 @@ impl<T: Scalar> CscMatrix<T> {
             row_idx,
             values,
         })
+    }
+
+    /// Re-check every storage invariant of an already-built matrix, plus a
+    /// NaN/Inf scan of the values.
+    ///
+    /// Construction via [`CscMatrix::try_new`] only enforces *structure*
+    /// (NaN payloads are legal to build — the abnormal-input generators rely
+    /// on that); library entry points that cannot tolerate poisoned data
+    /// call this before trusting the matrix. The pointer array is vetted
+    /// before any slot slice is formed, so a corrupted matrix can never
+    /// panic the validator.
+    pub fn validate(&self) -> Result<()> {
+        let parts = crate::validate::CompressedParts {
+            outer_len: self.ncols,
+            inner_len: self.nrows,
+            ptr: &self.col_ptr,
+            idx: &self.row_idx,
+            outer_is_col: true,
+            shape: (self.nrows, self.ncols),
+        };
+        parts.check_structure(self.values.len())?;
+        parts.check_finite(&self.values)
     }
 
     /// Construct without validation. The caller guarantees the CSC

@@ -4,7 +4,7 @@
 //! CSR, paper Table II) and as the per-block storage inside [`crate::BlockedCsr`].
 
 use crate::scalar::Scalar;
-use crate::{CscMatrix, Result, SparseError};
+use crate::{CscMatrix, Result};
 
 /// Compressed sparse row matrix.
 #[derive(Clone, Debug, PartialEq)]
@@ -26,45 +26,15 @@ impl<T: Scalar> CsrMatrix<T> {
         col_idx: Vec<usize>,
         values: Vec<T>,
     ) -> Result<Self> {
-        if row_ptr.len() != nrows + 1 {
-            return Err(SparseError::Malformed(format!(
-                "row_ptr length {} != nrows+1 = {}",
-                row_ptr.len(),
-                nrows + 1
-            )));
+        crate::validate::CompressedParts {
+            outer_len: nrows,
+            inner_len: ncols,
+            ptr: &row_ptr,
+            idx: &col_idx,
+            outer_is_col: false,
+            shape: (nrows, ncols),
         }
-        if row_ptr[0] != 0 || *row_ptr.last().unwrap() != col_idx.len() {
-            return Err(SparseError::Malformed(
-                "row_ptr endpoints must be 0 and nnz".into(),
-            ));
-        }
-        if col_idx.len() != values.len() {
-            return Err(SparseError::Malformed(
-                "col_idx and values lengths differ".into(),
-            ));
-        }
-        for i in 0..nrows {
-            if row_ptr[i] > row_ptr[i + 1] {
-                return Err(SparseError::Malformed(format!(
-                    "row_ptr not monotone at row {i}"
-                )));
-            }
-            let cols = &col_idx[row_ptr[i]..row_ptr[i + 1]];
-            for (k, &c) in cols.iter().enumerate() {
-                if c >= ncols {
-                    return Err(SparseError::IndexOutOfBounds {
-                        row: i,
-                        col: c,
-                        shape: (nrows, ncols),
-                    });
-                }
-                if k > 0 && cols[k - 1] >= c {
-                    return Err(SparseError::Malformed(format!(
-                        "cols not strictly increasing in row {i}"
-                    )));
-                }
-            }
-        }
+        .check_structure(values.len())?;
         Ok(Self {
             nrows,
             ncols,
@@ -72,6 +42,21 @@ impl<T: Scalar> CsrMatrix<T> {
             col_idx,
             values,
         })
+    }
+
+    /// Re-check every storage invariant plus a NaN/Inf scan (mirror of
+    /// [`CscMatrix::validate`]).
+    pub fn validate(&self) -> Result<()> {
+        let parts = crate::validate::CompressedParts {
+            outer_len: self.nrows,
+            inner_len: self.ncols,
+            ptr: &self.row_ptr,
+            idx: &self.col_idx,
+            outer_is_col: false,
+            shape: (self.nrows, self.ncols),
+        };
+        parts.check_structure(self.values.len())?;
+        parts.check_finite(&self.values)
     }
 
     /// Construct without validation (hot conversion paths).

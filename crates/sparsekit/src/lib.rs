@@ -23,6 +23,7 @@
 
 pub mod blocked;
 pub mod coo;
+pub mod corrupt;
 pub mod csb;
 pub mod csc;
 pub mod csr;
@@ -31,6 +32,7 @@ pub mod order;
 pub mod scalar;
 pub mod spy;
 pub mod stats;
+pub(crate) mod validate;
 
 pub use blocked::BlockedCsr;
 pub use coo::CooMatrix;
@@ -51,8 +53,29 @@ pub enum SparseError {
         /// Declared shape.
         shape: (usize, usize),
     },
-    /// Structure arrays are inconsistent (lengths, monotonicity, ordering).
+    /// Structure arrays are inconsistent (lengths, endpoints).
     Malformed(String),
+    /// A compressed pointer array decreased between consecutive slots.
+    NonMonotonePtr {
+        /// 0-based outer index (column for CSC, row for CSR) whose pointer
+        /// exceeds its successor.
+        at: usize,
+    },
+    /// Inner indices are not strictly increasing within an outer slot
+    /// (covers both unsorted and duplicate indices).
+    UnsortedIndices {
+        /// Outer slot (column for CSC, row for CSR).
+        outer: usize,
+        /// Position within the slot at which order breaks.
+        at: usize,
+    },
+    /// A stored value is NaN or infinite.
+    NotFinite {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
     /// A Matrix Market parse problem, with 1-based line number.
     Parse {
         /// Line at which parsing failed.
@@ -73,6 +96,16 @@ impl std::fmt::Display for SparseError {
                 shape.0, shape.1
             ),
             SparseError::Malformed(m) => write!(f, "malformed sparse structure: {m}"),
+            SparseError::NonMonotonePtr { at } => {
+                write!(f, "compressed pointer array decreases at slot {at}")
+            }
+            SparseError::UnsortedIndices { outer, at } => write!(
+                f,
+                "indices not strictly increasing in slot {outer} at position {at}"
+            ),
+            SparseError::NotFinite { row, col } => {
+                write!(f, "non-finite value stored at ({row}, {col})")
+            }
             SparseError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             SparseError::Io(e) => write!(f, "i/o error: {e}"),
         }

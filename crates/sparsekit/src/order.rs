@@ -47,7 +47,11 @@ pub fn permute_rows<T: Scalar>(a: &CscMatrix<T>, perm: &[usize]) -> CscMatrix<T>
             coo.push_unchecked(inv[r], j, v);
         }
     }
-    coo.to_csc().expect("permutation preserves bounds")
+    match coo.to_csc() {
+        Ok(m) => m,
+        // push_unchecked only relocated in-bounds rows through a bijection.
+        Err(e) => unreachable!("permutation preserves bounds: {e}"),
+    }
 }
 
 /// Invert a permutation.

@@ -47,6 +47,8 @@ pub trait Scalar:
     fn sqrt(self) -> Self;
     /// Fused multiply-add: `self * a + b`.
     fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Is the value neither NaN nor infinite?
+    fn is_finite(self) -> bool;
     /// Binary maximum (NaN-propagating comparison not required).
     fn max_s(self, other: Self) -> Self;
     /// Binary minimum.
@@ -79,6 +81,10 @@ macro_rules! impl_scalar {
             #[inline(always)]
             fn mul_add(self, a: Self, b: Self) -> Self {
                 <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
             }
             #[inline(always)]
             fn max_s(self, other: Self) -> Self {

@@ -48,8 +48,8 @@ pub fn pattern_stats<T: Scalar>(a: &CscMatrix<T>) -> PatternStats {
         if counts.is_empty() {
             return (0, 0.0, 0);
         }
-        let min = *counts.iter().min().unwrap();
-        let max = *counts.iter().max().unwrap();
+        let min = counts.iter().min().copied().unwrap_or(0);
+        let max = counts.iter().max().copied().unwrap_or(0);
         let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
         (min, mean, max)
     };

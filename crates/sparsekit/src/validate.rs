@@ -1,0 +1,107 @@
+//! Shared invariant checker for the two compressed formats.
+//!
+//! CSC and CSR are the same layout with the roles of the axes swapped, so
+//! one walker validates both; the `outer_is_col` flag only controls how
+//! violations are reported (`IndexOutOfBounds`/`NotFinite` speak in logical
+//! `(row, col)` coordinates regardless of storage order).
+//!
+//! Check order matters for safety: the pointer array is vetted completely
+//! (endpoints, monotonicity) *before* any per-slot slice is formed, so a
+//! corrupted pointer can never push a slice range past the index array and
+//! panic inside the validator itself.
+
+use crate::scalar::Scalar;
+use crate::{Result, SparseError};
+
+pub(crate) struct CompressedParts<'a> {
+    /// Slot count along the storage-major axis (`ncols` for CSC).
+    pub outer_len: usize,
+    /// Extent of the indexed axis (`nrows` for CSC).
+    pub inner_len: usize,
+    pub ptr: &'a [usize],
+    pub idx: &'a [usize],
+    /// True for CSC (outer = column), false for CSR (outer = row).
+    pub outer_is_col: bool,
+    /// Logical `(nrows, ncols)` for error reporting.
+    pub shape: (usize, usize),
+}
+
+impl CompressedParts<'_> {
+    fn coords(&self, outer: usize, inner: usize) -> (usize, usize) {
+        if self.outer_is_col {
+            (inner, outer)
+        } else {
+            (outer, inner)
+        }
+    }
+
+    /// Structural invariants: pointer endpoints and monotonicity, then
+    /// per-slot index bounds and strict ordering.
+    pub fn check_structure(&self, nvals: usize) -> Result<()> {
+        let axis = if self.outer_is_col { "col" } else { "row" };
+        if self.ptr.len() != self.outer_len + 1 {
+            return Err(SparseError::Malformed(format!(
+                "{axis}_ptr length {} != {} + 1",
+                self.ptr.len(),
+                self.outer_len
+            )));
+        }
+        if self.ptr[0] != 0 {
+            return Err(SparseError::Malformed(format!(
+                "{axis}_ptr must start at 0, found {}",
+                self.ptr[0]
+            )));
+        }
+        for j in 0..self.outer_len {
+            if self.ptr[j] > self.ptr[j + 1] {
+                return Err(SparseError::NonMonotonePtr { at: j });
+            }
+        }
+        if self.ptr[self.outer_len] != self.idx.len() {
+            return Err(SparseError::Malformed(format!(
+                "{axis}_ptr endpoint {} != nnz {}",
+                self.ptr[self.outer_len],
+                self.idx.len()
+            )));
+        }
+        if self.idx.len() != nvals {
+            return Err(SparseError::Malformed(format!(
+                "index array length {} != values length {nvals}",
+                self.idx.len()
+            )));
+        }
+        // The pointer array is now coherent; slot slices are safe to form.
+        for j in 0..self.outer_len {
+            let slot = &self.idx[self.ptr[j]..self.ptr[j + 1]];
+            for (k, &i) in slot.iter().enumerate() {
+                if i >= self.inner_len {
+                    let (row, col) = self.coords(j, i);
+                    return Err(SparseError::IndexOutOfBounds {
+                        row,
+                        col,
+                        shape: self.shape,
+                    });
+                }
+                if k > 0 && slot[k - 1] >= i {
+                    return Err(SparseError::UnsortedIndices { outer: j, at: k });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// NaN/Inf scan over the stored values, attributing the first offender
+    /// to its logical `(row, col)`. Assumes `check_structure` passed.
+    pub fn check_finite<T: Scalar>(&self, values: &[T]) -> Result<()> {
+        for j in 0..self.outer_len {
+            let (lo, hi) = (self.ptr[j], self.ptr[j + 1]);
+            for (k, v) in values[lo..hi].iter().enumerate() {
+                if !v.is_finite() {
+                    let (row, col) = self.coords(j, self.idx[lo + k]);
+                    return Err(SparseError::NotFinite { row, col });
+                }
+            }
+        }
+        Ok(())
+    }
+}

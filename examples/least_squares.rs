@@ -34,6 +34,7 @@ fn main() {
         atol: 1e-14,
         btol: 1e-14,
         max_iters: 100_000,
+        stall_window: 0,
     };
     let t = std::time::Instant::now();
     let (x_d, res) = solve_lsqr_d(&a, &b, &opts);

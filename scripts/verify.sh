@@ -17,6 +17,13 @@ cargo test -q --release --workspace
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== clippy lint gate: no unwrap/expect on library paths =="
+# Library crates must surface failures as typed errors, not panics; --lib
+# keeps #[cfg(test)] modules, tests/ and bins exempt.
+for c in sparsekit densekit rngkit obskit parkit faultkit sketchcore lstsq datagen; do
+  cargo clippy -q -p "$c" --lib -- -D clippy::unwrap_used -D clippy::expect_used
+done
+
 echo "== rustfmt check =="
 cargo fmt --all -- --check
 
@@ -36,12 +43,18 @@ grep -q '"model_ns":' "$TRACE_TMP" || { echo "verify: no model predictions in tr
 grep -q '</svg>' "$FOLDED_TMP.svg" || { echo "verify: flamegraph SVG not written" >&2; exit 1; }
 echo "trace smoke ok: $B_COUNT balanced span pairs, blocks annotated, SVG rendered"
 
+echo "== chaoscheck smoke (quick fault x scenario matrix: no panics, no hangs) =="
+CHAOS_TMP="$(mktemp /tmp/chaos_verify_XXXXXX.jsonl)"
+trap 'rm -f "$CHAOS_TMP" "$TRACE_TMP" "$FOLDED_TMP" "$FOLDED_TMP.svg"' EXIT
+./target/release/chaoscheck --quick --report "$CHAOS_TMP"
+grep -q '"outcome"' "$CHAOS_TMP" || { echo "verify: empty chaos report" >&2; exit 1; }
+
 echo "== benchgate suite listing =="
 ./target/release/benchgate list --quick
 
 echo "== benchgate self-check (record at smoke scale, compare back, expect pass) =="
 BENCHGATE_TMP="$(mktemp /tmp/benchgate_verify_XXXXXX.json)"
-trap 'rm -f "$BENCHGATE_TMP" "$TRACE_TMP" "$FOLDED_TMP" "$FOLDED_TMP.svg"' EXIT
+trap 'rm -f "$BENCHGATE_TMP" "$CHAOS_TMP" "$TRACE_TMP" "$FOLDED_TMP" "$FOLDED_TMP.svg"' EXIT
 ./target/release/benchgate record --quick --out "$BENCHGATE_TMP"
 # Generous --rel-tol: this exercises the record→parse→compare machinery and
 # the bitwise counter cross-check; it must not flake on hypervisor steal

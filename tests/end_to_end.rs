@@ -122,6 +122,7 @@ fn full_sap_pipeline_all_three_solvers_agree() {
         atol: 1e-14,
         btol: 1e-14,
         max_iters: 50_000,
+        stall_window: 0,
     };
 
     let (x_d, _) = solve_lsqr_d(&a, &b, &opts);

@@ -106,4 +106,43 @@ fn scoped_threads_lose_no_telemetry_and_match_serial() {
         cap.events.len(),
         tids.len()
     );
+
+    // Fault leg: inject a one-shot worker panic at 4 threads. The hardened
+    // driver must catch it as a typed error, and because parkit fires the
+    // fault at claim time (before any span opens) and still flushes every
+    // worker's ring on the way out, the captured trace stays pair-balanced.
+    faultkit::clear();
+    assert!(faultkit::set_plan_str("parkit/worker=once", 0xFA11).is_ok());
+    obskit::trace::set_enabled(true);
+    let _ = obskit::trace::take();
+    let res = parkit::with_threads(4, || {
+        sketchcore::try_sketch_alg3_par_cols(&a, &cfg, &sampler)
+    });
+    obskit::trace::set_enabled(false);
+    let cap = obskit::trace::take();
+    faultkit::clear();
+    match res {
+        Err(sketchcore::SketchError::WorkerPanic(msg)) => {
+            assert!(msg.contains("parkit/worker"), "payload lost: {msg}");
+        }
+        other => panic!("injected worker panic must surface typed, got {other:?}"),
+    }
+    assert_eq!(cap.dropped, 0, "faulted run lost trace events");
+    let begins = cap
+        .events
+        .iter()
+        .filter(|e| e.kind == TraceKind::Begin)
+        .count();
+    let closes = cap
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                TraceKind::End | TraceKind::BlockEnd | TraceKind::IterEnd
+            )
+        })
+        .count();
+    assert_eq!(begins, closes, "injected worker fault unbalanced the trace");
+    println!("faulted 4-thread capture: {begins} balanced span pairs");
 }

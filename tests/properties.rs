@@ -289,6 +289,63 @@ fn matrix_market_round_trip() {
     }
 }
 
+/// Every generated matrix passes the CSC/CSR invariant validator, in both
+/// storage orders — the validator has no false positives on the lawful
+/// construction paths.
+#[test]
+fn validator_accepts_generated_matrices() {
+    for case in 0..CASES {
+        let mut g = Gen::new(11, case);
+        let a = g.sparse_matrix();
+        assert!(a.validate().is_ok(), "case {case}: CSC rejected");
+        assert!(a.to_csr().validate().is_ok(), "case {case}: CSR rejected");
+    }
+}
+
+/// Every single-invariant corruption of a valid matrix is rejected with the
+/// *matching* `SparseError` variant — never accepted, never misattributed —
+/// for any matrix, seed, and both storage orders.
+#[test]
+fn validator_rejects_each_corruption_with_matching_variant() {
+    use sparsekit::corrupt::{corrupt_csc, corrupt_csr, Corruption};
+    use sparsekit::SparseError;
+
+    fn check(kind: Corruption, err: &SparseError, case: u64, order: &str) {
+        let matched = match kind {
+            Corruption::SwapAdjacentIndices => {
+                matches!(err, SparseError::UnsortedIndices { .. })
+            }
+            Corruption::OutOfBoundsIndex => {
+                matches!(err, SparseError::IndexOutOfBounds { .. })
+            }
+            Corruption::NonMonotonePtr => matches!(err, SparseError::NonMonotonePtr { .. }),
+            Corruption::NanValue | Corruption::InfValue => {
+                matches!(err, SparseError::NotFinite { .. })
+            }
+        };
+        assert!(matched, "case {case} {order} {kind:?}: wrong variant {err}");
+    }
+
+    for case in 0..CASES {
+        let mut g = Gen::new(12, case);
+        let a = g.sparse_matrix();
+        let csr = a.to_csr();
+        let seed = g.next();
+        for kind in Corruption::ALL {
+            // `None` means this matrix cannot host the corruption (e.g. no
+            // slot with two entries to swap) — a lawful skip, not a failure.
+            if let Some(bad) = corrupt_csc(&a, kind, seed) {
+                let err = bad.validate().expect_err("corrupted CSC accepted");
+                check(kind, &err, case, "csc");
+            }
+            if let Some(bad) = corrupt_csr(&csr, kind, seed) {
+                let err = bad.validate().expect_err("corrupted CSR accepted");
+                check(kind, &err, case, "csr");
+            }
+        }
+    }
+}
+
 /// uniform_random honours its density argument on average.
 #[test]
 fn generator_density() {

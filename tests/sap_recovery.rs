@@ -1,0 +1,96 @@
+//! Self-healing SAP against the abnormal generators: the escalation loop
+//! must converge where recovery is possible and return the matching typed
+//! error where it is not, with every recovery recorded on the obskit
+//! counters.
+//!
+//! One test function on purpose: the faultkit plan and the obskit registry
+//! are process-global, and this binary runs alone in its process — the
+//! phases below arm and clear them sequentially.
+
+use datagen::{badly_scaled, make_rhs, nan_laced, rank_deficient};
+use lstsq::{backward_error, try_solve_sap, LsqrOptions, SapFlavor, SapOptions, SolveError};
+use sketchcore::SketchError;
+use sparsekit::SparseError;
+
+fn opts(flavor: SapFlavor) -> SapOptions {
+    SapOptions {
+        gamma: 2,
+        b_d: 64,
+        b_n: 16,
+        seed: 42,
+        flavor,
+        lsqr: LsqrOptions {
+            atol: 1e-12,
+            btol: 1e-12,
+            max_iters: 4000,
+            stall_window: 0,
+        },
+    }
+}
+
+#[test]
+fn abnormal_inputs_recover_or_fail_typed() {
+    obskit::set_enabled(true);
+    obskit::reset();
+
+    // 1. Rank-deficient input, QR flavour: diag(R) exposes the dependent
+    //    columns, the attempt falls back to SVD without consuming a retry,
+    //    and the min-norm solve converges.
+    let a = rank_deficient::<f64>(400, 32, 16, 8, 29);
+    let (b, _) = make_rhs(&a, 3);
+    let before = obskit::snapshot().counters;
+    let rep = try_solve_sap(&a, &b, &opts(SapFlavor::Qr)).expect("rank-deficient must recover");
+    assert!(rep.fallback_svd, "QR on a rank-16 sketch must fall back");
+    assert!(
+        rep.rank < 32,
+        "fallback SVD should expose the deficiency, got rank {}",
+        rep.rank
+    );
+    assert!(rep.x.iter().all(|v| v.is_finite()));
+    let err = backward_error(&a, &rep.x, &b);
+    assert!(err < 1e-8, "backward error {err}");
+    let after = obskit::snapshot().counters;
+    assert_eq!(
+        after[obskit::Ctr::SapFallbackSvd as usize] - before[obskit::Ctr::SapFallbackSvd as usize],
+        1,
+        "exactly one QR->SVD fallback should be counted"
+    );
+
+    // 2. NaN-laced input: structurally valid, so only the value scan can
+    //    catch it — a typed validation error, not a retry candidate.
+    let a = nan_laced::<f64>(400, 32, 8, 3, 23);
+    let b: Vec<f64> = (0..400).map(|i| ((i % 13) as f64) - 6.0).collect();
+    match try_solve_sap(&a, &b, &opts(SapFlavor::Qr)) {
+        Err(SolveError::Sketch(SketchError::InvalidInput(SparseError::NotFinite { .. }))) => {}
+        other => panic!("NaN-laced input must fail validation, got {other:?}"),
+    }
+
+    // 3. Badly scaled input (10 decades of column scales): the whole point
+    //    of sketch-and-precondition — converges cleanly, no recovery needed.
+    let a = badly_scaled::<f64>(400, 32, 8, 10.0, 31);
+    let (b, _) = make_rhs(&a, 7);
+    let rep = try_solve_sap(&a, &b, &opts(SapFlavor::Qr)).expect("badly scaled must solve");
+    assert_eq!(rep.retries, 0);
+    assert!(!rep.fallback_svd);
+    let err = backward_error(&a, &rep.x, &b);
+    assert!(err < 1e-8, "backward error {err}");
+
+    // 4. Gamma escalation: poison the first attempt's sketch stream with a
+    //    one-shot NaN; the retry doubles gamma, shifts the seed, and
+    //    converges. The retry lands on the sap.retries counter.
+    let a = badly_scaled::<f64>(400, 32, 8, 6.0, 37);
+    let (b, _) = make_rhs(&a, 9);
+    faultkit::clear();
+    assert!(faultkit::set_plan_str("sketch/nan_stream=once", 0xC0FFEE).is_ok());
+    let before = obskit::snapshot().counters;
+    let rep = try_solve_sap(&a, &b, &opts(SapFlavor::Qr)).expect("retry must recover");
+    faultkit::clear();
+    assert_eq!(rep.retries, 1, "first attempt poisoned, second clean");
+    let after = obskit::snapshot().counters;
+    assert_eq!(
+        after[obskit::Ctr::SapRetries as usize] - before[obskit::Ctr::SapRetries as usize],
+        1
+    );
+    let err = backward_error(&a, &rep.x, &b);
+    assert!(err < 1e-8, "backward error after retry {err}");
+}
