@@ -3,10 +3,13 @@
 //! abort, or hang.
 //!
 //! ```text
-//! chaoscheck [--quick] [--report PATH] [--obs-json PATH]
+//! chaoscheck [--quick] [--service-only] [--report PATH] [--obs-json PATH]
 //! ```
 //!
 //! * `--quick` — the small smoke sweep used by `scripts/verify.sh`.
+//! * `--service-only` — skip the kernel matrix and sweep only the
+//!   `sketchd` service failpoints (accept/decode/dispatch/reply) against a
+//!   live in-process server.
 //! * `--report PATH` — write one JSONL record per cell (default
 //!   `chaos_report.jsonl` under the current directory).
 //! * `--obs-json PATH` — export the obskit run telemetry (counters include
@@ -19,19 +22,21 @@ use std::io::Write;
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: chaoscheck [--quick] [--report PATH] [--obs-json PATH]");
+    eprintln!("usage: chaoscheck [--quick] [--service-only] [--report PATH] [--obs-json PATH]");
     std::process::exit(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut service_only = false;
     let mut report_path = String::from("chaos_report.jsonl");
     let mut obs_json: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--service-only" => service_only = true,
             "--report" => {
                 report_path = args.get(i + 1).cloned().unwrap_or_else(|| usage());
                 i += 1;
@@ -63,7 +68,13 @@ fn main() -> ExitCode {
         cfg.timeout
     );
 
-    let cells = chaos::run_matrix(&cfg, quick);
+    let mut cells = if service_only {
+        Vec::new()
+    } else {
+        chaos::run_matrix(&cfg, quick)
+    };
+    println!("chaoscheck: service failpoint sweep (in-process sketchd)");
+    cells.extend(chaos::run_service_matrix(&cfg));
 
     let mut bad = 0usize;
     let mut counts = [0usize; 5];

@@ -1,0 +1,554 @@
+//! loadgen — open-loop load generator for `sketchd`.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT | --port-file PATH] [--quick]
+//!         [--conns LIST] [--requests N] [--rate RPS] [--compare]
+//!         [--m M] [--n N] [--density F] [--d D] [--b-d B] [--b-n B]
+//!         [--seed S] [--out PATH] [--gate-out PATH] [--obs-json PATH]
+//! ```
+//!
+//! * `--addr` / `--port-file` — target an external `sketchd`; with neither,
+//!   an in-process server is started (and cleanly shut down) so the binary
+//!   is self-contained for smoke tests.
+//! * `--conns LIST` — comma-separated concurrency sweep (default `1,2,4,8`).
+//! * `--requests N` — requests per connection per phase.
+//! * `--rate RPS` — per-connection open-loop arrival rate: inter-arrival
+//!   gaps are exponential draws from a seeded rngkit stream, and the
+//!   schedule never waits for completions (a connection that falls behind
+//!   fires immediately, which is what builds server-side queues). `0`
+//!   means no pacing (each connection fires back to back).
+//! * `--compare` — run every sweep point twice, once with the `NO_BATCH`
+//!   flag (the server must serve each request with its own kernel pass)
+//!   and once batchable, and report the throughput ratio. This is the
+//!   PR-5 acceptance measurement: batched ≥ 1.5× unbatched at batch ≥ 4.
+//! * `--out PATH` — one JSONL record per phase.
+//! * `--gate-out PATH` — benchgate-style result file: the same
+//!   `name/reps_ns/median_ns/mad_ns/min_ns` record shape as a
+//!   `BENCH_*.json` baseline scenario, under a loadgen-specific `kind`.
+//!
+//! Latencies are request round-trip times recorded in an [`obskit::Hist`]
+//! per connection and merged per phase (p50/p90/p99 are mid-bucket
+//! estimates, like every histogram in this repo). Requests use
+//! `CHECKSUM_ONLY` replies so the wire cost stays flat as `d` grows.
+
+use bench::json::parse;
+use bench::print_table;
+use obskit::Hist;
+use rngkit::{BlockRng, FastRng};
+use sketchd::proto::sketch_flags;
+use sketchd::{Client, Server, ServerConfig};
+use std::io::Write;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MATRIX: &str = "loadgen";
+
+#[derive(Clone)]
+struct Opts {
+    addr: Option<String>,
+    port_file: Option<String>,
+    conns: Vec<usize>,
+    requests: usize,
+    rate: f64,
+    window: usize,
+    compare: bool,
+    no_batch: bool,
+    batch_max: usize,
+    reps: usize,
+    m: u64,
+    n: u64,
+    density: f64,
+    d: u64,
+    b_d: u64,
+    b_n: u64,
+    seed: u64,
+    out: Option<String>,
+    gate_out: Option<String>,
+    obs_json: Option<String>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            addr: None,
+            port_file: None,
+            conns: vec![1, 2, 4, 8],
+            requests: 200,
+            rate: 0.0,
+            window: 1,
+            compare: false,
+            no_batch: false,
+            batch_max: 16,
+            reps: 1,
+            m: 2000,
+            n: 48,
+            density: 0.01,
+            d: 16,
+            b_d: 16,
+            b_n: 48,
+            seed: 0x10AD,
+            out: None,
+            gate_out: None,
+            obs_json: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT | --port-file PATH] [--quick] [--compare]\n\
+         \x20              [--conns LIST] [--requests N] [--rate RPS]\n\
+         \x20              [--m M] [--n N] [--density F] [--d D] [--b-d B] [--b-n B]\n\
+         \x20              [--seed S] [--out PATH] [--gate-out PATH] [--obs-json PATH]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_opts() -> Opts {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut o = Opts::default();
+    let mut i = 0;
+    let take = |args: &[String], i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => o.addr = Some(take(&args, &mut i)),
+            "--port-file" => o.port_file = Some(take(&args, &mut i)),
+            "--quick" => {
+                o.conns = vec![4];
+                o.requests = 32;
+                o.window = 8;
+                o.m = 400;
+                o.n = 24;
+                o.density = 0.015;
+                o.d = 8;
+                o.b_d = 8;
+                o.b_n = 24;
+            }
+            "--compare" => o.compare = true,
+            "--no-batch" => o.no_batch = true,
+            "--batch-max" => {
+                o.batch_max = take(&args, &mut i).parse().unwrap_or_else(|_| usage());
+                if o.batch_max == 0 {
+                    usage()
+                }
+            }
+            "--reps" => {
+                o.reps = take(&args, &mut i).parse().unwrap_or_else(|_| usage());
+                if o.reps == 0 {
+                    usage()
+                }
+            }
+            "--conns" => {
+                let list = take(&args, &mut i);
+                o.conns = list
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if o.conns.is_empty() {
+                    usage()
+                }
+            }
+            "--requests" => o.requests = take(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--rate" => o.rate = take(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--window" => {
+                o.window = take(&args, &mut i).parse().unwrap_or_else(|_| usage());
+                if o.window == 0 {
+                    usage()
+                }
+            }
+            "--m" => o.m = take(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--n" => o.n = take(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--density" => o.density = take(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--d" => o.d = take(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--b-d" => o.b_d = take(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--b-n" => o.b_n = take(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => o.seed = take(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--out" => o.out = Some(take(&args, &mut i)),
+            "--gate-out" => o.gate_out = Some(take(&args, &mut i)),
+            "--obs-json" => o.obs_json = Some(take(&args, &mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    o
+}
+
+/// Results of one (conns, flags) phase.
+struct Phase {
+    label: String,
+    conns: usize,
+    ok: u64,
+    errors: u64,
+    elapsed_ns: u64,
+    hist: Hist,
+    /// `svc.batched` delta over the phase, read from server Stats.
+    batched: u64,
+    /// `svc/batch_size` p99 over the whole server lifetime (best available
+    /// proxy for the largest coalesced batch).
+    batch_p99: f64,
+}
+
+impl Phase {
+    fn throughput_rps(&self) -> f64 {
+        self.ok as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+
+    fn to_json_line(&self) -> String {
+        format!(
+            "{{\"phase\":\"{}\",\"conns\":{},\"ok\":{},\"errors\":{},\"elapsed_ns\":{},\
+             \"throughput_rps\":{:.1},\"p50_ns\":{:.0},\"p90_ns\":{:.0},\"p99_ns\":{:.0},\
+             \"batched\":{},\"batch_p99\":{:.0}}}",
+            self.label,
+            self.conns,
+            self.ok,
+            self.errors,
+            self.elapsed_ns,
+            self.throughput_rps(),
+            self.hist.quantile(0.5),
+            self.hist.quantile(0.9),
+            self.hist.quantile(0.99),
+            self.batched,
+            self.batch_p99
+        )
+    }
+
+    /// The benchgate-compatible record: same field names as a baseline
+    /// scenario entry, with the phase's round-trip latencies as `reps_ns`.
+    fn to_gate_record(&self) -> String {
+        format!(
+            "{{\"name\":\"svc_loadgen_{}_c{}\",\"reps_ns\":[],\"median_ns\":{:.0},\
+             \"mad_ns\":{:.0},\"min_ns\":{},\"count\":{},\"throughput_rps\":{:.1}}}",
+            self.label,
+            self.conns,
+            self.hist.quantile(0.5),
+            self.hist.mad(),
+            self.hist.min().unwrap_or(0),
+            self.hist.count(),
+            self.throughput_rps()
+        )
+    }
+}
+
+fn stat_counter(stats: &str, name: &str) -> u64 {
+    parse(stats)
+        .ok()
+        .and_then(|j| {
+            j.get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(|v| v.as_u64())
+        })
+        .unwrap_or(0)
+}
+
+fn stat_hist_p99(stats: &str, path: &str) -> f64 {
+    parse(stats)
+        .ok()
+        .and_then(|j| {
+            j.get("hists")
+                .and_then(|h| h.get(path))
+                .and_then(|v| v.get("p99"))
+                .and_then(|v| v.as_f64())
+        })
+        .unwrap_or(0.0)
+}
+
+/// Exponential inter-arrival gap in nanoseconds at `rate` requests/s.
+fn exp_gap_ns(rng: &mut FastRng, rate: f64) -> u64 {
+    let u = ((rng.next_u64() >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+    ((-u.ln() / rate) * 1e9) as u64
+}
+
+/// Run one open-loop phase: `conns` connections, `requests` each.
+fn run_phase(
+    addr: SocketAddr,
+    o: &Opts,
+    conns: usize,
+    flags: u32,
+    label: &str,
+    phase_seed: u64,
+) -> Phase {
+    let mut stats_client = Client::connect(addr, Duration::from_secs(30)).expect("stats connect");
+    let base_batched = stat_counter(&stats_client.stats().expect("stats"), "svc.batched");
+
+    let errors = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..conns {
+        let errors = errors.clone();
+        let (requests, rate, window, d, b_d, b_n) =
+            (o.requests, o.rate, o.window, o.d, o.b_d, o.b_n);
+        let seed0 = phase_seed.wrapping_add(c as u64 * 1_000_003);
+        handles.push(std::thread::spawn(move || {
+            let mut hist = Hist::new();
+            let mut ok = 0u64;
+            let mut client = match Client::connect(addr, Duration::from_secs(30)) {
+                Ok(c) => c,
+                Err(_) => {
+                    errors.fetch_add(requests as u64, Ordering::Relaxed);
+                    return (hist, ok);
+                }
+            };
+            // The arrival schedule is fixed up front from the seeded
+            // stream: open-loop means "fire at t_i regardless of how the
+            // previous request went", so a saturated server sees a backlog
+            // rather than a politely throttled client. Requests are
+            // dispatched in pipelined windows of `window` (1 = strict
+            // request/reply); each member's latency is the time from its
+            // window's dispatch to the window completing.
+            let mut arrivals = FastRng::new(seed0 ^ 0xA221);
+            let start = Instant::now();
+            let mut due_ns = 0u64;
+            let mut r = 0usize;
+            while r < requests {
+                let w = window.min(requests - r);
+                if rate > 0.0 {
+                    for _ in 0..w {
+                        due_ns += exp_gap_ns(&mut arrivals, rate);
+                    }
+                    let due = Duration::from_nanos(due_ns);
+                    let now = start.elapsed();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                }
+                let seeds: Vec<u64> = (r..r + w).map(|i| seed0.wrapping_add(i as u64)).collect();
+                let t = Instant::now();
+                match client.sketch_many(
+                    MATRIX,
+                    d,
+                    b_d,
+                    b_n,
+                    &seeds,
+                    flags | sketch_flags::CHECKSUM_ONLY,
+                    0,
+                ) {
+                    Ok(results) => {
+                        let dt = t.elapsed().as_nanos() as u64;
+                        for res in results {
+                            if res.is_ok() {
+                                ok += 1;
+                                hist.record(dt);
+                            } else {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        errors.fetch_add(w as u64, Ordering::Relaxed);
+                    }
+                }
+                r += w;
+            }
+            (hist, ok)
+        }));
+    }
+    let mut hist = Hist::new();
+    let mut ok = 0u64;
+    for h in handles {
+        let (h_hist, h_ok) = h.join().expect("loadgen connection thread");
+        hist.merge(&h_hist);
+        ok += h_ok;
+    }
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+
+    let stats = stats_client.stats().expect("stats");
+    Phase {
+        label: label.to_string(),
+        conns,
+        ok,
+        errors: errors.load(Ordering::Relaxed),
+        elapsed_ns,
+        hist,
+        batched: stat_counter(&stats, "svc.batched").saturating_sub(base_batched),
+        batch_p99: stat_hist_p99(&stats, "svc/batch_size"),
+    }
+}
+
+fn main() {
+    let o = parse_opts();
+    obskit::set_enabled(true);
+
+    // Resolve the target server: external (--addr / --port-file) or an
+    // in-process one we own and shut down.
+    let mut local: Option<Server> = None;
+    let addr: SocketAddr = if let Some(a) = &o.addr {
+        a.parse().unwrap_or_else(|_| usage())
+    } else if let Some(pf) = &o.port_file {
+        let port: u16 = std::fs::read_to_string(pf)
+            .unwrap_or_else(|e| {
+                eprintln!("loadgen: cannot read {pf}: {e}");
+                std::process::exit(2)
+            })
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| usage());
+        format!("127.0.0.1:{port}").parse().expect("loopback addr")
+    } else {
+        let cfg = ServerConfig {
+            queue_cap: 1024,
+            batch_max: o.batch_max,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(cfg).expect("start in-process sketchd");
+        let addr = server.addr();
+        local = Some(server);
+        addr
+    };
+
+    // Install the shared operand once; every request sketches this handle.
+    let mut admin = Client::connect(addr, Duration::from_secs(30)).expect("connect");
+    let loaded = admin
+        .load_generated(MATRIX, o.m, o.n, o.density, o.seed)
+        .expect("load operand");
+    println!(
+        "loadgen: target {addr}, operand {}x{} nnz {} ({} bytes), d={} b_d={} b_n={}",
+        o.m, o.n, loaded.nnz, loaded.bytes, o.d, o.b_d, o.b_n
+    );
+
+    // Untimed warmup: fault in code and heap arenas, open TCP paths, and
+    // let the scheduler settle before anything is measured.
+    {
+        let mut warm = o.clone();
+        warm.requests = (o.requests / 4).clamp(1, 200);
+        let _ = run_phase(addr, &warm, o.conns[0], 0, "warmup", o.seed ^ 0x3A3A);
+    }
+
+    let mut phases: Vec<Phase> = Vec::new();
+    // (conns, unbatched rps, batched rps) per comparison rep.
+    let mut ratios: Vec<(usize, f64, f64)> = Vec::new();
+    for (idx, &conns) in o.conns.iter().enumerate() {
+        for rep in 0..o.reps {
+            let phase_seed = o
+                .seed
+                .wrapping_add(idx as u64 * 7_777_777)
+                .wrapping_add(rep as u64 * 104_729);
+            if o.compare {
+                let u = run_phase(
+                    addr,
+                    &o,
+                    conns,
+                    sketch_flags::NO_BATCH,
+                    "unbatched",
+                    phase_seed,
+                );
+                let b = run_phase(addr, &o, conns, 0, "batched", phase_seed);
+                ratios.push((conns, u.throughput_rps(), b.throughput_rps()));
+                phases.push(u);
+                phases.push(b);
+            } else {
+                let (flags, label) = if o.no_batch {
+                    (sketch_flags::NO_BATCH, "open_nobatch")
+                } else {
+                    (0, "open")
+                };
+                phases.push(run_phase(addr, &o, conns, flags, label, phase_seed));
+            }
+        }
+    }
+
+    let rows: Vec<Vec<String>> = phases
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{} c{}", p.label, p.conns),
+                format!("{}", p.ok),
+                format!("{}", p.errors),
+                format!("{:.0}", p.throughput_rps()),
+                format!("{:.0}", p.hist.quantile(0.5) / 1e3),
+                format!("{:.0}", p.hist.quantile(0.9) / 1e3),
+                format!("{:.0}", p.hist.quantile(0.99) / 1e3),
+                format!("{}", p.batched),
+            ]
+        })
+        .collect();
+    print_table(
+        "loadgen phases",
+        &[
+            "phase", "ok", "err", "req/s", "p50 µs", "p90 µs", "p99 µs", "batched",
+        ],
+        &rows,
+    );
+
+    let mut worst_ratio: Option<f64> = None;
+    if o.compare {
+        // Per sweep point: the ratio of median throughputs across reps —
+        // robust to single-rep hypervisor-steal outliers on a 1-core host.
+        for &conns in &o.conns {
+            let mut us: Vec<f64> = ratios
+                .iter()
+                .filter(|r| r.0 == conns)
+                .map(|r| r.1)
+                .collect();
+            let mut bs: Vec<f64> = ratios
+                .iter()
+                .filter(|r| r.0 == conns)
+                .map(|r| r.2)
+                .collect();
+            if us.is_empty() {
+                continue;
+            }
+            us.sort_by(|a, b| a.total_cmp(b));
+            bs.sort_by(|a, b| a.total_cmp(b));
+            let (mu, mb) = (us[us.len() / 2], bs[bs.len() / 2]);
+            let ratio = mb / mu;
+            println!(
+                "loadgen: conns {conns} batched/unbatched median throughput ratio {ratio:.2}x \
+                 (batched {mb:.0} req/s vs {mu:.0} req/s over {} reps)",
+                us.len()
+            );
+            worst_ratio = Some(worst_ratio.map_or(ratio, |w: f64| w.min(ratio)));
+        }
+    }
+
+    if let Some(path) = &o.out {
+        let write = std::fs::File::create(path).and_then(|mut f| {
+            for p in &phases {
+                writeln!(f, "{}", p.to_json_line())?;
+            }
+            Ok(())
+        });
+        match write {
+            Ok(()) => println!("loadgen: JSONL written to {path}"),
+            Err(e) => {
+                eprintln!("loadgen: cannot write {path}: {e}");
+                std::process::exit(2)
+            }
+        }
+    }
+    if let Some(path) = &o.gate_out {
+        let records: Vec<String> = phases.iter().map(|p| p.to_gate_record()).collect();
+        let body = format!(
+            "{{\"schema\":1,\"kind\":\"sparse-sketch-loadgen-result\",\"scenarios\":[{}]}}",
+            records.join(",")
+        );
+        match std::fs::write(path, body) {
+            Ok(()) => println!("loadgen: gate-format results written to {path}"),
+            Err(e) => {
+                eprintln!("loadgen: cannot write {path}: {e}");
+                std::process::exit(2)
+            }
+        }
+    }
+
+    if let Some(server) = local.take() {
+        admin.shutdown().expect("shutdown in-process server");
+        server.join();
+        println!("loadgen: in-process sketchd shut down cleanly");
+    }
+
+    let sink = obskit::resolve_json_sink(o.obs_json.clone());
+    if let Err(e) = obskit::emit_run_telemetry(sink.as_deref()) {
+        eprintln!("loadgen: telemetry export failed: {e}");
+    }
+
+    if let Some(w) = worst_ratio {
+        // Informational on the console; the acceptance run records the
+        // demo numbers under results/.
+        println!("loadgen: worst batched/unbatched ratio across sweep: {w:.2}x");
+    }
+}

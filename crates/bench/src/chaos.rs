@@ -418,3 +418,188 @@ pub fn run_matrix(cfg: &ChaosConfig, quick: bool) -> Vec<Cell> {
     }
     cells
 }
+
+// --- service cells ------------------------------------------------------
+
+/// A `sketchd` failpoint swept against a live in-process server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SvcFault {
+    /// Baseline: clean request/response.
+    None,
+    /// `svc/accept=once` — the accepted connection is dropped before any
+    /// byte is read.
+    Accept,
+    /// `svc/decode=once` — a request fails at decode time; the server
+    /// answers a typed `BadRequest` frame and the connection survives.
+    Decode,
+    /// `svc/dispatch=once` — the worker panics mid-request inside its
+    /// containment; the server answers a typed `Internal` frame and the
+    /// queue is not poisoned.
+    Dispatch,
+    /// `svc/reply=once` — the reply write is shot down; the client sees a
+    /// closed connection, the worker moves on.
+    Reply,
+}
+
+impl SvcFault {
+    /// Stable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            SvcFault::None => "none".into(),
+            SvcFault::Accept => "svc_accept_once".into(),
+            SvcFault::Decode => "svc_decode_once".into(),
+            SvcFault::Dispatch => "svc_dispatch_once".into(),
+            SvcFault::Reply => "svc_reply_once".into(),
+        }
+    }
+
+    fn plan(&self) -> Option<&'static str> {
+        match self {
+            SvcFault::None => None,
+            SvcFault::Accept => Some("svc/accept=once"),
+            SvcFault::Decode => Some("svc/decode=once"),
+            SvcFault::Dispatch => Some("svc/dispatch=once"),
+            SvcFault::Reply => Some("svc/reply=once"),
+        }
+    }
+}
+
+/// All service failpoints.
+pub fn svc_faults() -> Vec<SvcFault> {
+    vec![
+        SvcFault::None,
+        SvcFault::Accept,
+        SvcFault::Decode,
+        SvcFault::Dispatch,
+        SvcFault::Reply,
+    ]
+}
+
+/// Clears the process-global fault plan on scope exit (including unwind,
+/// so a failed assertion cannot leak a plan into the next cell).
+struct ArmedSvc;
+
+impl ArmedSvc {
+    fn arm(plan: &str) -> Self {
+        if faultkit::set_plan_str(plan, 0xC0FFEE).is_err() {
+            unreachable!("static fault plan must parse: {plan}");
+        }
+        ArmedSvc
+    }
+}
+
+impl Drop for ArmedSvc {
+    fn drop(&mut self) {
+        faultkit::clear();
+    }
+}
+
+/// One faulted client/server interaction against a fresh in-process
+/// `sketchd`. Contract violations panic (→ `Outcome::Panicked`, which
+/// fails the binary); the return value is the cell detail.
+fn service_interaction(fault: SvcFault, cfg: &ChaosConfig) -> String {
+    use sketchd::proto::Status;
+    let timeout = Duration::from_secs(10);
+    let server =
+        sketchd::Server::start(sketchd::ServerConfig::default()).expect("bind ephemeral port");
+    let addr = server.addr();
+    let mut c = sketchd::Client::connect(addr, timeout).expect("connect");
+    let density = cfg.nnz_per_col as f64 / cfg.m as f64;
+    c.load_generated("chaos", cfg.m as u64, cfg.n as u64, density, 17)
+        .expect("load");
+    let d = 2 * cfg.n as u64;
+    let detail = {
+        let _armed = fault.plan().map(ArmedSvc::arm);
+        match fault {
+            SvcFault::None => {
+                let r = c.sketch("chaos", d, 16, 8, 7, 0, 0).expect("clean sketch");
+                format!("clean sketch served, batch {}", r.batch())
+            }
+            SvcFault::Accept => {
+                let dropped = sketchd::Client::connect(addr, Duration::from_millis(500))
+                    .and_then(|mut c2| c2.health().map(|_| ()));
+                assert!(dropped.is_err(), "faulted accept must not serve");
+                "accepted connection dropped; typed client error".into()
+            }
+            SvcFault::Decode => {
+                let e = c
+                    .sketch("chaos", d, 16, 8, 7, 0, 0)
+                    .expect_err("decode fault");
+                assert_eq!(e.status(), Some(Status::BadRequest), "got {e}");
+                format!("typed error frame: {e}")
+            }
+            SvcFault::Dispatch => {
+                let e = c
+                    .sketch("chaos", d, 16, 8, 7, 0, 0)
+                    .expect_err("dispatch fault");
+                assert_eq!(e.status(), Some(Status::Internal), "got {e}");
+                format!("typed error frame: {e}")
+            }
+            SvcFault::Reply => {
+                let e = c
+                    .sketch("chaos", d, 16, 8, 7, 0, 0)
+                    .expect_err("reply fault");
+                assert!(
+                    e.status().is_none(),
+                    "reply fault closes the connection: {e}"
+                );
+                format!("connection closed by reply fault: {e}")
+            }
+        }
+    };
+    // Recovery: with the plan cleared, a fresh connection must be served
+    // by the same (alive) worker pool, then shut the server down cleanly.
+    let mut c2 = sketchd::Client::connect(addr, timeout).expect("reconnect after fault");
+    c2.sketch("chaos", d, 16, 8, 7, 0, 0)
+        .expect("service must survive the fault");
+    c2.shutdown().expect("shutdown");
+    server.join();
+    format!("{detail}; recovered, clean shutdown")
+}
+
+/// Run one service cell on a watchdogged thread.
+pub fn run_service_cell(fault: SvcFault, cfg: &ChaosConfig) -> Cell {
+    let t0 = Instant::now();
+    faultkit::clear();
+    let (tx, rx) = mpsc::channel();
+    let cfg2 = *cfg;
+    let handle = std::thread::spawn(move || {
+        let out = catch_unwind(AssertUnwindSafe(|| service_interaction(fault, &cfg2)));
+        obskit::flush_thread();
+        let _ = tx.send(out);
+    });
+    let (outcome, detail) = match rx.recv_timeout(cfg.timeout) {
+        Ok(Ok(detail)) => {
+            let outcome = if fault == SvcFault::None {
+                Outcome::CleanOk
+            } else {
+                Outcome::TypedError
+            };
+            (outcome, detail)
+        }
+        Ok(Err(p)) => (
+            Outcome::Panicked,
+            sketchcore::error::panic_payload_to_string(p.as_ref()),
+        ),
+        Err(_) => (Outcome::Hung, format!("no result within {:?}", cfg.timeout)),
+    };
+    if outcome != Outcome::Hung {
+        let _ = handle.join();
+    }
+    faultkit::clear();
+    Cell {
+        scenario: "svc_roundtrip",
+        fault: fault.label(),
+        outcome,
+        detail,
+        elapsed_ms: t0.elapsed().as_millis() as u64,
+    }
+}
+
+/// Sweep every service failpoint sequentially.
+pub fn run_service_matrix(cfg: &ChaosConfig) -> Vec<Cell> {
+    svc_faults()
+        .into_iter()
+        .map(|f| run_service_cell(f, cfg))
+        .collect()
+}

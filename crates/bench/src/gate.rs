@@ -39,7 +39,9 @@ use lstsq::{
 };
 use obskit::{Ctr, CTR_NAMES, NCTR};
 use rngkit::{FastRng, Rademacher, UnitUniform};
-use sketchcore::{sketch_alg3, sketch_alg3_signs, sketch_alg4, CostModel, SketchConfig};
+use sketchcore::{
+    sketch_alg3, sketch_alg3_multi, sketch_alg3_signs, sketch_alg4, CostModel, SketchConfig,
+};
 use sparsekit::BlockedCsr;
 use std::time::Instant;
 
@@ -212,6 +214,41 @@ pub fn suite(scale: usize) -> Vec<Scenario> {
                 let mut op = CscOp::new(&a);
                 let opts = LsmrOptions::default();
                 std::hint::black_box(lsmr(&mut op, &b, &opts));
+            }),
+        });
+    }
+
+    // The service batcher's fusion, isolated from socket I/O: four
+    // same-shape sketches run back to back (what an unbatched server does
+    // per connection) versus one multi-seed blocked pass over the operand
+    // (what the batcher coalesces them into). The pair is the kernel-level
+    // half of the PR-5 acceptance ratio; `loadgen --compare` measures the
+    // same fusion end to end over the wire.
+    {
+        let (a, cfg) = (a_tall.clone(), cfg3);
+        out.push(Scenario {
+            name: "svc_sketch_seq4",
+            kernel: "alg3 x4",
+            shape: shape_of(&a),
+            run: Box::new(move || {
+                for r in 0..4u64 {
+                    let s = UnitUniform::<f64>::sampler(FastRng::new(cfg.seed + r));
+                    std::hint::black_box(sketch_alg3(&a, &cfg, &s));
+                }
+            }),
+        });
+    }
+    {
+        let (a, cfg) = (a_tall.clone(), cfg3);
+        out.push(Scenario {
+            name: "svc_sketch_batch4",
+            kernel: "alg3_multi",
+            shape: shape_of(&a),
+            run: Box::new(move || {
+                let samplers: Vec<_> = (0..4u64)
+                    .map(|r| UnitUniform::<f64>::sampler(FastRng::new(cfg.seed + r)))
+                    .collect();
+                std::hint::black_box(sketch_alg3_multi(&a, &cfg, &samplers));
             }),
         });
     }
@@ -1062,7 +1099,11 @@ mod tests {
 
     #[test]
     fn baseline_json_round_trips_every_field() {
-        let mut sc = tiny_result("alg3_tall", 123_456, 789, [7, 6, 5, 4, 3, 2, 9, 8, 1]);
+        let mut counters = [0u64; NCTR];
+        for (i, c) in counters.iter_mut().enumerate() {
+            *c = (i as u64 + 3) * 7 % 11; // distinct nonzero-ish values per slot
+        }
+        let mut sc = tiny_result("alg3_tall", 123_456, 789, counters);
         sc.reps_ns = vec![123_000, 123_456, 999_999];
         sc.min_ns = 123_000;
         sc.hists = vec![HistSummary {

@@ -65,10 +65,18 @@ pub enum Ctr {
     SapFallbackSvd = 7,
     /// Memory-budget guard: block-size halvings applied to fit the budget.
     BudgetDegradedBlocks = 8,
+    /// Serving layer (`sketchd`): requests admitted to the work queue.
+    SvcAccepted = 9,
+    /// Serving layer: requests rejected at admission (queue-depth cap).
+    SvcRejectedOverload = 10,
+    /// Serving layer: requests whose deadline expired before completion.
+    SvcDeadlineMissed = 11,
+    /// Serving layer: requests served as part of a coalesced batch of ≥ 2.
+    SvcBatched = 12,
 }
 
 /// Number of counter slots.
-pub const NCTR: usize = 9;
+pub const NCTR: usize = 13;
 
 /// Counter names in slot order (JSONL and summary labels).
 pub const CTR_NAMES: [&str; NCTR] = [
@@ -81,6 +89,10 @@ pub const CTR_NAMES: [&str; NCTR] = [
     "sap.retries",
     "sap.fallback_svd",
     "budget.degraded_blocks",
+    "svc.accepted",
+    "svc.rejected_overload",
+    "svc.deadline_missed",
+    "svc.batched",
 ];
 
 /// Hard cap on buffered events; beyond it events are counted as dropped
@@ -732,6 +744,17 @@ pub fn snapshot() -> Snapshot {
 
 /// Clear all recorded spans, counters and events (calling thread flushed
 /// and discarded first). Other threads' unflushed locals survive a reset.
+///
+/// **Long-lived servers must not call this.** `reset()` exists for
+/// benchmark harnesses that want each repetition to describe exactly one
+/// execution (benchgate's reset-between-reps discipline). In a resident
+/// service (`sketchd`) the registry is shared by every in-flight request;
+/// a reset would silently zero counters other observers are diffing
+/// against. Servers report deltas instead: snapshot once at startup, then
+/// have each `Stats` request take a fresh [`snapshot`] and subtract the
+/// baseline with [`Snapshot::counters_since`]. Both operations are
+/// read-only on the registry, so any number of concurrent `Stats` calls
+/// observe monotone, race-free values.
 pub fn reset() {
     if !cfg!(feature = "obs") {
         return;
@@ -842,6 +865,15 @@ impl Value {
 }
 
 impl Snapshot {
+    /// Counter-wise `self − base` (saturating): the delta a long-lived
+    /// process reports without ever resetting the global registry. `base`
+    /// is typically a snapshot taken at process or window start; saturation
+    /// covers the (misuse) case where someone reset the registry between
+    /// the two snapshots.
+    pub fn counters_since(&self, base: &Snapshot) -> [u64; NCTR] {
+        std::array::from_fn(|i| self.counters[i].saturating_sub(base.counters[i]))
+    }
+
     /// Serialize as JSONL: one `meta` line, one line per span, one per
     /// counter, one per event.
     pub fn to_jsonl(&self) -> String {
@@ -1189,6 +1221,26 @@ mod tests {
         // direct registry access is private — so just verify the field is
         // plumbed through the snapshot.
         assert_eq!(snapshot().dropped_events, 0);
+    }
+
+    #[test]
+    fn counters_since_is_saturating_delta() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        add(Ctr::SvcAccepted, 5);
+        let base = snapshot();
+        add(Ctr::SvcAccepted, 7);
+        add(Ctr::SvcRejectedOverload, 2);
+        let now = snapshot();
+        let d = now.counters_since(&base);
+        assert_eq!(d[Ctr::SvcAccepted as usize], 7);
+        assert_eq!(d[Ctr::SvcRejectedOverload as usize], 2);
+        // Saturating: diffing against a *later* snapshot clamps to 0 rather
+        // than wrapping (the registry-was-reset misuse case).
+        let back = base.counters_since(&now);
+        assert_eq!(back[Ctr::SvcAccepted as usize], 0);
+        reset();
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod config;
 pub mod error;
 pub mod instrument;
 pub mod model;
+pub mod multi;
 pub mod obs;
 pub mod parallel;
 pub mod pattern_model;
@@ -67,6 +68,7 @@ pub use config::{flops, SketchConfig};
 pub use error::SketchError;
 pub use instrument::{sketch_alg3_instrumented, sketch_alg4_instrumented, SketchTiming};
 pub use model::{CostModel, ModelPrediction};
+pub use multi::{sketch_alg3_multi, try_sketch_alg3_multi};
 pub use obs::TrafficReport;
 pub use parallel::{sketch_alg3_par_cols, sketch_alg3_par_rows, sketch_alg4_par_rows};
 pub use pattern_model::{predict_kernels, profile_pattern, tune_b_n, KernelCosts, PatternProfile};

@@ -1,0 +1,204 @@
+//! Multi-seed batched sketching: one blocked pass through `A` serving `k`
+//! independent sketch requests.
+//!
+//! The serving layer's headline amortization (see the `sketchd` crate): the
+//! sparse operand `A` is fixed and resident, while each request only differs
+//! in the seed defining its implicit random matrix `S`. A batch of `k`
+//! compatible requests (same `A`, same `(d, b_d, b_n)` blocking, distinct
+//! seeds) can therefore share a single traversal of `A`'s compressed data —
+//! the column pointers, row indices and values are streamed once and served
+//! to all `k` output sketches from cache, instead of being re-streamed `k`
+//! times by `k` sequential [`crate::sketch_alg3`] calls.
+//!
+//! Random-sample work is *not* shared (each request's stream is keyed by its
+//! own seed), so the win is bounded by the traversal + block-loop share of
+//! the kernel: largest for small `d` (few samples per nonzero) over a large
+//! `A` (traversal-dominated), and at the service level where a batch also
+//! amortizes queue transit and dispatch wakeups.
+//!
+//! **Bitwise contract:** for every request `r`, the batched kernel performs
+//! exactly the same `(set_state, fill_axpy)` call sequence on sampler `r`
+//! as a sequential `sketch_alg3` call with that sampler would — same blocks,
+//! same order, same slices. Checkpointed samplers are pure functions of
+//! `(seed, i, j)`, so output `r` is bitwise identical to the sequential
+//! result (asserted by this module's tests and re-asserted end-to-end by
+//! `sketchd`'s batching tests).
+
+use crate::alg1;
+use crate::config::SketchConfig;
+use crate::error::{panic_payload_to_string, SketchError};
+use densekit::Matrix;
+use rngkit::BlockSampler;
+use sparsekit::{CscMatrix, Scalar};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Compute `k` sketches `Âᵣ = Sᵣ·A` in one blocked pass over `A`.
+///
+/// `samplers[r]` defines `Sᵣ` (cloned; caller state untouched). Returns one
+/// `d×n` matrix per sampler, each bitwise identical to
+/// `sketch_alg3(a, cfg, &samplers[r])`. With an empty sampler slice this is
+/// a no-op returning an empty vector.
+pub fn sketch_alg3_multi<T, S>(
+    a: &CscMatrix<T>,
+    cfg: &SketchConfig,
+    samplers: &[S],
+) -> Vec<Matrix<T>>
+where
+    T: Scalar,
+    S: BlockSampler<T> + Clone,
+{
+    let _sp = obskit::span("sketch/alg3_multi");
+    let mut outs: Vec<Matrix<T>> = samplers
+        .iter()
+        .map(|_| Matrix::zeros(cfg.d, a.ncols()))
+        .collect();
+    let mut ss: Vec<S> = samplers.to_vec();
+    alg1::drive(cfg, a.ncols(), |b| {
+        let t0 = crate::obs::block_timer();
+        for k in b.j..b.j + b.n1 {
+            let (rows, vals) = a.col(k);
+            for (&j, &ajk) in rows.iter().zip(vals.iter()) {
+                // Requests innermost: the (j, ajk) operand element is loaded
+                // once and reused across the whole batch. Each request keeps
+                // the exact per-sampler call order of the sequential kernel.
+                for (s, m) in ss.iter_mut().zip(outs.iter_mut()) {
+                    let out = &mut m.col_mut(k)[b.i..b.i + b.d1];
+                    s.set_state(b.i, j);
+                    s.fill_axpy(ajk, out);
+                }
+            }
+        }
+        if let Some(t0) = t0 {
+            let dur_ns = t0.elapsed().as_nanos() as u64;
+            let nnz_b: usize = (b.j..b.j + b.n1).map(|k| a.col(k).0.len()).sum();
+            // Counter accounting scales with the batch (k seeks/samples per
+            // nonzero); bytes_a is charged once — the traversal the batch
+            // shares — which is exactly the asymmetry the batcher exploits.
+            crate::obs::block_done_multi::<T>(
+                crate::obs::BlockObs {
+                    path: "sketch/alg3_multi/block",
+                    i: b.i,
+                    j: b.j,
+                    d1: b.d1,
+                    n1: b.n1,
+                    nnz: nnz_b,
+                    rows_hit: None,
+                },
+                ss.len(),
+                dur_ns,
+            );
+        }
+    });
+    outs
+}
+
+/// Hardened batched driver: validated input, one catch_unwind around the
+/// whole pass, per-output non-finite scan.
+///
+/// Unlike [`crate::try_sketch_alg3`] this does not re-plan block sizes — the
+/// serving layer validates and budget-plans a matrix once at registry-load
+/// time and reuses the plan across every request against that handle, so
+/// per-request cost stays proportional to the sketch, not to `nnz(A)`.
+/// `validate` can be skipped for registry-held (pre-validated) matrices.
+pub fn try_sketch_alg3_multi<T, S>(
+    a: &CscMatrix<T>,
+    cfg: &SketchConfig,
+    samplers: &[S],
+    validate: bool,
+) -> Result<Vec<Matrix<T>>, SketchError>
+where
+    T: Scalar,
+    S: BlockSampler<T> + Clone,
+{
+    if validate {
+        a.validate()?;
+    }
+    let outs = catch_unwind(AssertUnwindSafe(|| sketch_alg3_multi(a, cfg, samplers)))
+        .map_err(|p| SketchError::WorkerPanic(panic_payload_to_string(p.as_ref())))?;
+    for m in &outs {
+        for j in 0..m.ncols() {
+            for (i, v) in m.col(j).iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(SketchError::NonFiniteSketch { row: i, col: j });
+                }
+            }
+        }
+    }
+    Ok(outs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngkit::{FastRng, UnitUniform};
+
+    fn random_csc(m: usize, n: usize, nnz: usize, seed: u64) -> CscMatrix<f64> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 11
+        };
+        let mut coo = sparsekit::CooMatrix::new(m, n);
+        for _ in 0..nnz {
+            let r = (next() % m as u64) as usize;
+            let c = (next() % n as u64) as usize;
+            let v = (next() % 2000) as f64 / 1000.0 - 1.0;
+            coo.push(r, c, v + 0.001).unwrap();
+        }
+        coo.to_csc().unwrap()
+    }
+
+    /// The tentpole contract: a batched k-request pass is bitwise identical
+    /// to k sequential calls with the same seeds (the PR 1 equivalence
+    /// pattern, extended to batches).
+    #[test]
+    fn batched_bitwise_matches_sequential() {
+        let a = random_csc(60, 30, 220, 11);
+        for (b_d, b_n) in [(8, 5), (64, 30), (1, 1)] {
+            let cfg = SketchConfig::new(24, b_d, b_n, 0);
+            let samplers: Vec<_> = (0..5)
+                .map(|r| UnitUniform::<f64>::sampler(FastRng::new(1000 + r)))
+                .collect();
+            let batched = sketch_alg3_multi(&a, &cfg, &samplers);
+            assert_eq!(batched.len(), 5);
+            for (r, s) in samplers.iter().enumerate() {
+                let seq = crate::sketch_alg3(&a, &cfg, s);
+                assert_eq!(
+                    batched[r], seq,
+                    "request {r} not bitwise identical at blocking ({b_d},{b_n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let a = random_csc(10, 6, 20, 3);
+        let cfg = SketchConfig::new(8, 4, 3, 0);
+        let outs =
+            sketch_alg3_multi::<f64, rngkit::DistSampler<UnitUniform<f64>, FastRng>>(&a, &cfg, &[]);
+        assert!(outs.is_empty());
+    }
+
+    #[test]
+    fn hardened_multi_matches_and_scans() {
+        let a = random_csc(40, 16, 120, 7);
+        let cfg = SketchConfig::new(12, 6, 4, 0);
+        let samplers: Vec<_> = (0..3)
+            .map(|r| UnitUniform::<f64>::sampler(FastRng::new(50 + r)))
+            .collect();
+        let got = try_sketch_alg3_multi(&a, &cfg, &samplers, true).expect("benign input");
+        for (r, s) in samplers.iter().enumerate() {
+            assert_eq!(got[r], crate::sketch_alg3(&a, &cfg, s));
+        }
+        // Corrupt input is rejected with a typed error when validating.
+        let bad = sparsekit::corrupt::corrupt_csc(&a, sparsekit::corrupt::Corruption::NanValue, 1)
+            .expect("hostable");
+        match try_sketch_alg3_multi(&bad, &cfg, &samplers, true) {
+            Err(SketchError::InvalidInput(_)) => {}
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+    }
+}

@@ -111,6 +111,50 @@ pub fn block_done<T>(b: BlockObs, dur_ns: u64) {
     }
 }
 
+/// Record one completed *batched* kernel block (`batch` independent sketches
+/// sharing one traversal — see [`crate::sketch_alg3_multi`]). Sample/seek/
+/// flop/output counters scale with the batch; `bytes_a` is charged once,
+/// because the batch's whole point is that the operand is streamed once.
+pub fn block_done_multi<T>(b: BlockObs, batch: usize, dur_ns: u64) {
+    if obskit::enabled() {
+        obskit::hist_record_ns(b.path, dur_ns);
+        let (d1, n1, nnz_b, batch) = (b.d1 as u64, b.n1 as u64, b.nnz as u64, batch as u64);
+        obskit::add(Ctr::Samples, batch * d1 * nnz_b);
+        obskit::add(Ctr::Seeks, batch * nnz_b);
+        obskit::add(Ctr::Flops, 2 * batch * d1 * nnz_b);
+        obskit::add(Ctr::BytesA, nnz_b * nnz_bytes::<T>());
+        obskit::add(
+            Ctr::BytesOut,
+            2 * std::mem::size_of::<T>() as u64 * batch * d1 * n1,
+        );
+    }
+    if obskit::trace_enabled() {
+        let word = std::mem::size_of::<T>() as u64;
+        let samples = (b.d1 * b.nnz) as u64 * batch as u64;
+        let bytes =
+            b.nnz as u64 * nnz_bytes::<T>() + 2 * word * (b.d1 * b.n1) as u64 * batch as u64;
+        let h = CostModel::default_host().h;
+        let cost = bytes + (h * samples as f64 * word as f64).round() as u64;
+        let end_ns = trace::now_ns();
+        trace::span_pair(
+            b.path,
+            end_ns.saturating_sub(dur_ns),
+            end_ns,
+            TraceKind::BlockEnd,
+            [
+                b.i as u64,
+                b.j as u64,
+                batch as u64,
+                b.nnz as u64,
+                bytes,
+                cost,
+            ],
+        );
+        trace::counter("samples", samples);
+        trace::counter("bytes", bytes);
+    }
+}
+
 /// Record one Algorithm-3-style outer block: `d1 × n1` output tile with
 /// `nnz_b` nonzeros of `A` in its column range. One seek and `d1` samples
 /// per nonzero. Call only when [`obskit::enabled`] is true.

@@ -1,0 +1,113 @@
+//! `sketchctl`: a command-line poke at a running `sketchd`.
+//!
+//! ```text
+//! sketchctl --addr HOST:PORT health
+//! sketchctl --addr HOST:PORT stats
+//! sketchctl --addr HOST:PORT load NAME M N DENSITY SEED
+//! sketchctl --addr HOST:PORT sketch NAME D B_D B_N SEED
+//! sketchctl --addr HOST:PORT shutdown
+//! ```
+//!
+//! `sketch` requests a checksum reply (the full matrix body is for
+//! programs, not terminals) and prints the Frobenius norm, the bitwise
+//! XOR fingerprint, and the server-side batch size the request rode in.
+
+use sketchd::client::Client;
+use sketchd::proto::{sketch_flags, SketchResult};
+use std::net::ToSocketAddrs;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sketchctl --addr HOST:PORT <health|stats|shutdown|load NAME M N DENSITY SEED|sketch NAME D B_D B_N SEED>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 || args[0] != "--addr" {
+        usage();
+    }
+    let addr = match args[1].to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(a) => a,
+        None => {
+            eprintln!("sketchctl: cannot resolve {}", args[1]);
+            std::process::exit(1);
+        }
+    };
+    let mut client = match Client::connect(addr, Duration::from_secs(30)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("sketchctl: connect failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let cmd = args[2].as_str();
+    let rest = &args[3..];
+    let outcome = match (cmd, rest.len()) {
+        ("health", 0) => client.health().map(|h| {
+            format!(
+                "up {} ms, queue depth {}, {} matrices resident, batch_max {}",
+                h.uptime_ms, h.queue_depth, h.matrices, h.batch_max
+            )
+        }),
+        ("stats", 0) => client.stats(),
+        ("shutdown", 0) => client
+            .shutdown()
+            .map(|()| "shutdown acknowledged".to_string()),
+        ("load", 5) => client
+            .load_generated(
+                &rest[0],
+                arg(&rest[1], "M"),
+                arg(&rest[2], "N"),
+                arg(&rest[3], "DENSITY"),
+                arg(&rest[4], "SEED"),
+            )
+            .map(|r| {
+                format!(
+                    "loaded {}x{} ({} nnz, {} B, {} evicted)",
+                    r.nrows, r.ncols, r.nnz, r.bytes, r.evicted
+                )
+            }),
+        ("sketch", 5) => client
+            .sketch(
+                &rest[0],
+                arg(&rest[1], "D"),
+                arg(&rest[2], "B_D"),
+                arg(&rest[3], "B_N"),
+                arg(&rest[4], "SEED"),
+                sketch_flags::CHECKSUM_ONLY,
+                0,
+            )
+            .map(|r| match r {
+                SketchResult::Checksum {
+                    d,
+                    n,
+                    batch,
+                    fro,
+                    xor,
+                } => {
+                    format!("sketch {d}x{n}: fro {fro:.6e}, xor {xor:#018x}, batch {batch}")
+                }
+                SketchResult::Full { d, n, batch, .. } => {
+                    format!("sketch {d}x{n} (full body), batch {batch}")
+                }
+            }),
+        _ => usage(),
+    };
+    match outcome {
+        Ok(line) => println!("{line}"),
+        Err(e) => {
+            eprintln!("sketchctl: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn arg<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("sketchctl: bad value {s:?} for {what}");
+        std::process::exit(2);
+    })
+}

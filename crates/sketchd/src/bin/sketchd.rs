@@ -1,0 +1,90 @@
+//! The `sketchd` daemon: bind, serve, exit cleanly on the `Shutdown` op.
+//!
+//! ```text
+//! sketchd [--addr HOST:PORT] [--port-file PATH] [--queue-cap N]
+//!         [--workers N] [--batch-max N] [--registry-budget BYTES]
+//!         [--worker-delay-ms MS] [--obs-json PATH]
+//! ```
+//!
+//! `--port-file` writes the bound port (one line) once the listener is up,
+//! so scripts binding port 0 can discover the ephemeral port without
+//! parsing stdout (verify.sh's smoke step relies on it).
+
+use sketchd::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sketchd [--addr HOST:PORT] [--port-file PATH] [--queue-cap N] \
+         [--workers N] [--batch-max N] [--registry-budget BYTES] \
+         [--worker-delay-ms MS] [--obs-json PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut port_file: Option<String> = None;
+    let mut obs_json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = val("--addr"),
+            "--port-file" => port_file = Some(val("--port-file")),
+            "--queue-cap" => cfg.queue_cap = parse(&val("--queue-cap"), "--queue-cap"),
+            "--workers" => cfg.workers = parse(&val("--workers"), "--workers"),
+            "--batch-max" => cfg.batch_max = parse(&val("--batch-max"), "--batch-max"),
+            "--registry-budget" => {
+                cfg.registry_budget = parse(&val("--registry-budget"), "--registry-budget")
+            }
+            "--worker-delay-ms" => {
+                cfg.worker_delay_ms = parse(&val("--worker-delay-ms"), "--worker-delay-ms")
+            }
+            "--obs-json" => obs_json = Some(val("--obs-json")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    // The service is an observability citizen by default: counters and
+    // svc/* histograms are always recorded (Stats reports deltas), and
+    // --obs-json dumps the full registry at exit.
+    obskit::set_enabled(true);
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sketchd: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.addr();
+    if let Some(path) = &port_file {
+        if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
+            eprintln!("sketchd: cannot write port file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("sketchd listening on {addr}");
+    // Serve until a client sends the Shutdown op; join() returns only when
+    // every acceptor/worker/connection thread has exited.
+    server.join();
+    let sink = obskit::resolve_json_sink(obs_json);
+    if let Err(e) = obskit::emit_run_telemetry(sink.as_deref()) {
+        eprintln!("sketchd: telemetry emit failed: {e}");
+    }
+    println!("sketchd: clean shutdown");
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {s:?} for {what}");
+        usage()
+    })
+}

@@ -1,0 +1,1108 @@
+//! The `sketchd` wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        0x534B4431 ("SKD1"), little-endian
+//!      4     2  version      protocol version, currently 1
+//!      6     1  op           operation (request and its response share it)
+//!      7     1  status       0 on requests; response disposition otherwise
+//!      8     8  req_id       echoed verbatim in the response
+//!     16     4  deadline_ms  relative deadline in ms (0 = none); 0 in responses
+//!     20     4  payload_len  bytes of payload following the header
+//!     24     4  crc          CRC-32 (IEEE) of the payload bytes
+//!     28     …  payload      op-specific body, see the message structs
+//! ```
+//!
+//! All integers are little-endian. The header is fixed-size so a reader can
+//! always pull [`HEADER_LEN`] bytes, learn `payload_len`, and then pull the
+//! rest — no in-band delimiters, no resynchronization problem. The CRC
+//! covers the payload only (the header is validated field-by-field), so a
+//! flipped bit in a matrix body is caught before it reaches a kernel.
+//!
+//! Decoding never panics: every malformed input maps to a typed
+//! [`DecodeError`], and [`DecodeError::Truncated`] doubles as the "need
+//! more bytes" signal for the streaming [`FrameReader`]. The proto fuzz
+//! tests (`tests/proto.rs`) drive random corruption through [`decode`] to
+//! hold that line.
+
+use std::fmt;
+use std::io::{self, Read as _, Write as _};
+use std::net::TcpStream;
+
+/// Frame magic: `"SKD1"` read as a little-endian u32.
+pub const MAGIC: u32 = 0x3144_4B53;
+/// Protocol version this build speaks.
+pub const VERSION: u16 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 28;
+/// Hard cap on payload size; larger lengths are rejected at decode time
+/// *before* any allocation, so a hostile length prefix cannot OOM the
+/// server.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+// --- CRC-32 ------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table,
+/// built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// --- ops & statuses ----------------------------------------------------
+
+/// Operations the service understands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// Install a named CSC matrix into the registry.
+    LoadMatrix = 1,
+    /// Sketch a registered matrix (`Â = S·A`) with a request-chosen seed.
+    Sketch = 2,
+    /// Sketch-and-precondition least squares against a registered matrix.
+    SolveSap = 3,
+    /// Snapshot the server's `svc.*` telemetry (delta since startup).
+    Stats = 4,
+    /// Liveness probe with queue depth and registry occupancy.
+    Health = 5,
+    /// Orderly shutdown: drain, reply, stop accepting.
+    Shutdown = 6,
+}
+
+impl Op {
+    fn from_u8(v: u8) -> Option<Op> {
+        Some(match v {
+            1 => Op::LoadMatrix,
+            2 => Op::Sketch,
+            3 => Op::SolveSap,
+            4 => Op::Stats,
+            5 => Op::Health,
+            6 => Op::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// Response disposition. Requests always carry [`Status::Ok`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Success; payload is the op's response body.
+    Ok = 0,
+    /// Admission control refused the request (queue full or registry at
+    /// budget). Retry later; payload is a human-readable detail string.
+    Overloaded = 1,
+    /// The request's deadline expired before (or while) it was served.
+    DeadlineExceeded = 2,
+    /// The request was structurally invalid (bad payload, zero dimension,
+    /// unknown flags …).
+    BadRequest = 3,
+    /// The named matrix is not in the registry.
+    NotFound = 4,
+    /// The server failed internally (worker panic, non-finite sketch, …);
+    /// the connection remains usable.
+    Internal = 5,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown = 6,
+}
+
+impl Status {
+    fn from_u8(v: u8) -> Option<Status> {
+        Some(match v {
+            0 => Status::Ok,
+            1 => Status::Overloaded,
+            2 => Status::DeadlineExceeded,
+            3 => Status::BadRequest,
+            4 => Status::NotFound,
+            5 => Status::Internal,
+            6 => Status::ShuttingDown,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name, used in error frames and client errors.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Overloaded => "overloaded",
+            Status::DeadlineExceeded => "deadline_exceeded",
+            Status::BadRequest => "bad_request",
+            Status::NotFound => "not_found",
+            Status::Internal => "internal",
+            Status::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+// --- frames ------------------------------------------------------------
+
+/// One decoded frame (header fields + owned payload).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Operation.
+    pub op: Op,
+    /// Disposition ([`Status::Ok`] on requests).
+    pub status: Status,
+    /// Correlation id, echoed from request to response.
+    pub req_id: u64,
+    /// Relative deadline in milliseconds; 0 means none.
+    pub deadline_ms: u32,
+    /// Op-specific body.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A request frame.
+    pub fn request(op: Op, req_id: u64, deadline_ms: u32, payload: Vec<u8>) -> Frame {
+        Frame {
+            op,
+            status: Status::Ok,
+            req_id,
+            deadline_ms,
+            payload,
+        }
+    }
+
+    /// A response frame echoing `req_id`.
+    pub fn response(op: Op, status: Status, req_id: u64, payload: Vec<u8>) -> Frame {
+        Frame {
+            op,
+            status,
+            req_id,
+            deadline_ms: 0,
+            payload,
+        }
+    }
+
+    /// An error response whose payload is a UTF-8 detail string.
+    pub fn error(op: Op, status: Status, req_id: u64, detail: &str) -> Frame {
+        Frame::response(op, status, req_id, detail.as_bytes().to_vec())
+    }
+
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(self.op as u8);
+        out.push(self.status as u8);
+        out.extend_from_slice(&self.req_id.to_le_bytes());
+        out.extend_from_slice(&self.deadline_ms.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&self.payload).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+/// Everything that can go wrong turning bytes into a [`Frame`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum DecodeError {
+    /// Not enough bytes yet; `need` is the total the frame requires. For a
+    /// streaming reader this means "read more"; at end-of-input it means
+    /// the peer hung up mid-frame.
+    Truncated {
+        /// Total bytes the frame needs.
+        need: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// First four bytes were not [`MAGIC`].
+    BadMagic(u32),
+    /// Unsupported protocol version.
+    BadVersion(u16),
+    /// Unknown op byte.
+    UnknownOp(u8),
+    /// Unknown status byte.
+    UnknownStatus(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// Declared length.
+        len: u32,
+        /// The cap it violated.
+        max: u32,
+    },
+    /// Payload bytes did not match the header CRC.
+    BadCrc {
+        /// CRC the header declared.
+        expected: u32,
+        /// CRC of the received payload.
+        got: u32,
+    },
+    /// Payload body failed to parse for its op.
+    BadPayload(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { need, got } => {
+                write!(f, "truncated frame: need {need} bytes, got {got}")
+            }
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::UnknownOp(o) => write!(f, "unknown op {o}"),
+            DecodeError::UnknownStatus(s) => write!(f, "unknown status {s}"),
+            DecodeError::Oversized { len, max } => {
+                write!(f, "payload length {len} exceeds cap {max}")
+            }
+            DecodeError::BadCrc { expected, got } => {
+                write!(
+                    f,
+                    "payload crc mismatch: header says {expected:#010x}, computed {got:#010x}"
+                )
+            }
+            DecodeError::BadPayload(what) => write!(f, "bad payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Copy a constant-width window out of `b`. Callers pass slices whose
+/// length is `N` by construction (header fields, `take(N)` results), so
+/// this cannot miscopy; it exists to keep `try_into().unwrap()` off
+/// library decode paths.
+fn arr<const N: usize>(b: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(b);
+    out
+}
+
+/// Decode one frame from the front of `buf`. On success returns the frame
+/// and the number of bytes consumed. [`DecodeError::Truncated`] means the
+/// buffer holds a valid prefix — callers with a stream should read more
+/// and retry; every other error is fatal for the buffer's framing.
+pub fn decode(buf: &[u8]) -> Result<(Frame, usize), DecodeError> {
+    if buf.len() < HEADER_LEN {
+        return Err(DecodeError::Truncated {
+            need: HEADER_LEN,
+            got: buf.len(),
+        });
+    }
+    let magic = u32::from_le_bytes(arr(&buf[0..4]));
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(arr(&buf[4..6]));
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let op = Op::from_u8(buf[6]).ok_or(DecodeError::UnknownOp(buf[6]))?;
+    let status = Status::from_u8(buf[7]).ok_or(DecodeError::UnknownStatus(buf[7]))?;
+    let req_id = u64::from_le_bytes(arr(&buf[8..16]));
+    let deadline_ms = u32::from_le_bytes(arr(&buf[16..20]));
+    let payload_len = u32::from_le_bytes(arr(&buf[20..24]));
+    if payload_len > MAX_PAYLOAD {
+        return Err(DecodeError::Oversized {
+            len: payload_len,
+            max: MAX_PAYLOAD,
+        });
+    }
+    let crc = u32::from_le_bytes(arr(&buf[24..28]));
+    let total = HEADER_LEN + payload_len as usize;
+    if buf.len() < total {
+        return Err(DecodeError::Truncated {
+            need: total,
+            got: buf.len(),
+        });
+    }
+    let payload = buf[HEADER_LEN..total].to_vec();
+    let got = crc32(&payload);
+    if got != crc {
+        return Err(DecodeError::BadCrc { expected: crc, got });
+    }
+    Ok((
+        Frame {
+            op,
+            status,
+            req_id,
+            deadline_ms,
+            payload,
+        },
+        total,
+    ))
+}
+
+// --- streaming reader ---------------------------------------------------
+
+/// Why a [`FrameReader`] read ended without a frame.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// Peer closed the connection at a frame boundary (clean EOF).
+    Closed,
+    /// The socket read timed out with a partial (or empty) buffer; the
+    /// buffered bytes are kept, so callers can poll a shutdown flag and
+    /// call [`FrameReader::next_frame`] again.
+    TimedOut,
+    /// Transport failure.
+    Io(io::Error),
+    /// The byte stream is corrupt (bad magic / version / CRC / …); the
+    /// connection can no longer be framed.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameReadError::Closed => write!(f, "connection closed"),
+            FrameReadError::TimedOut => write!(f, "read timed out"),
+            FrameReadError::Io(e) => write!(f, "io error: {e}"),
+            FrameReadError::Decode(e) => write!(f, "decode error: {e}"),
+        }
+    }
+}
+
+/// Incremental frame reader over a [`TcpStream`]: accumulates bytes across
+/// short reads and hands out whole frames.
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> FrameReader {
+        FrameReader { buf: Vec::new() }
+    }
+
+    /// Read until one whole frame is buffered, then decode and consume it.
+    /// Honors the stream's configured read timeout by returning
+    /// [`FrameReadError::TimedOut`] (buffer preserved).
+    pub fn next_frame(&mut self, stream: &mut TcpStream) -> Result<Frame, FrameReadError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match decode(&self.buf) {
+                Ok((frame, used)) => {
+                    self.buf.drain(..used);
+                    return Ok(frame);
+                }
+                Err(DecodeError::Truncated { .. }) => {}
+                Err(e) => return Err(FrameReadError::Decode(e)),
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(if self.buf.is_empty() {
+                        FrameReadError::Closed
+                    } else {
+                        FrameReadError::Decode(DecodeError::Truncated {
+                            need: HEADER_LEN.max(self.buf.len() + 1),
+                            got: self.buf.len(),
+                        })
+                    });
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Err(FrameReadError::TimedOut)
+                }
+                Err(e) => return Err(FrameReadError::Io(e)),
+            }
+        }
+    }
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Write a whole frame to the stream.
+pub fn write_frame(stream: &mut TcpStream, frame: &Frame) -> io::Result<()> {
+    stream.write_all(&frame.encode())
+}
+
+// --- payload cursors ----------------------------------------------------
+
+/// Bounds-checked payload reader; every overrun is a typed
+/// [`DecodeError::BadPayload`], never a panic.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a payload.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(DecodeError::BadPayload(what))?;
+        if end > self.buf.len() {
+            return Err(DecodeError::BadPayload(what));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(arr(self.take(4, what)?)))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(arr(self.take(8, what)?)))
+    }
+
+    /// Read a little-endian `f64`.
+    pub fn f64(&mut self, what: &'static str) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(arr(self.take(8, what)?)))
+    }
+
+    /// Read a length-prefixed UTF-8 string (u32 length).
+    pub fn str(&mut self, what: &'static str) -> Result<String, DecodeError> {
+        let n = self.u32(what)? as usize;
+        let bytes = self.take(n, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadPayload(what))
+    }
+
+    /// Read a length-prefixed `u64` vector (u32 count). The count is
+    /// sanity-bounded by the remaining payload before allocating.
+    pub fn vec_u64(&mut self, what: &'static str) -> Result<Vec<u64>, DecodeError> {
+        let n = self.u32(what)? as usize;
+        if n > self.buf.len().saturating_sub(self.pos) / 8 {
+            return Err(DecodeError::BadPayload(what));
+        }
+        (0..n).map(|_| self.u64(what)).collect()
+    }
+
+    /// Read a length-prefixed `f64` vector (u32 count), bounds-checked
+    /// before allocating.
+    pub fn vec_f64(&mut self, what: &'static str) -> Result<Vec<f64>, DecodeError> {
+        let n = self.u32(what)? as usize;
+        if n > self.buf.len().saturating_sub(self.pos) / 8 {
+            return Err(DecodeError::BadPayload(what));
+        }
+        (0..n).map(|_| self.f64(what)).collect()
+    }
+
+    /// True when the whole payload was consumed.
+    pub fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Payload writer mirroring [`Reader`].
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `f64`.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    /// Append a length-prefixed `u64` vector.
+    pub fn vec_u64(&mut self, v: &[u64]) -> &mut Self {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.u64(x);
+        }
+        self
+    }
+
+    /// Append a length-prefixed `f64` vector.
+    pub fn vec_f64(&mut self, v: &[f64]) -> &mut Self {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.f64(x);
+        }
+        self
+    }
+
+    /// Take the finished payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+// --- message bodies ------------------------------------------------------
+
+/// Where a [`LoadMatrixReq`]'s matrix comes from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MatrixSource {
+    /// Server-side generation via `datagen::uniform_random` — ships four
+    /// integers instead of megabytes, and is what the load generator uses.
+    Generate {
+        /// Rows.
+        m: u64,
+        /// Columns.
+        n: u64,
+        /// Target density in [0, 1].
+        density: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Explicit CSC parts, validated server-side with
+    /// `CscMatrix::try_new` + `validate`.
+    Inline {
+        /// Rows.
+        nrows: u64,
+        /// Columns.
+        ncols: u64,
+        /// CSC column pointers (`ncols + 1`).
+        col_ptr: Vec<u64>,
+        /// Row indices per nonzero.
+        row_idx: Vec<u64>,
+        /// Values per nonzero.
+        values: Vec<f64>,
+    },
+}
+
+/// `LoadMatrix` request body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadMatrixReq {
+    /// Registry handle to install under (replaces an existing entry).
+    pub name: String,
+    /// Matrix contents.
+    pub source: MatrixSource,
+}
+
+impl LoadMatrixReq {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.str(&self.name);
+        match &self.source {
+            MatrixSource::Generate {
+                m,
+                n,
+                density,
+                seed,
+            } => {
+                w.u8(0).u64(*m).u64(*n).f64(*density).u64(*seed);
+            }
+            MatrixSource::Inline {
+                nrows,
+                ncols,
+                col_ptr,
+                row_idx,
+                values,
+            } => {
+                w.u8(1)
+                    .u64(*nrows)
+                    .u64(*ncols)
+                    .vec_u64(col_ptr)
+                    .vec_u64(row_idx)
+                    .vec_f64(values);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parse.
+    pub fn decode(payload: &[u8]) -> Result<LoadMatrixReq, DecodeError> {
+        let mut r = Reader::new(payload);
+        let name = r.str("load.name")?;
+        let source = match r.u8("load.kind")? {
+            0 => MatrixSource::Generate {
+                m: r.u64("load.m")?,
+                n: r.u64("load.n")?,
+                density: r.f64("load.density")?,
+                seed: r.u64("load.seed")?,
+            },
+            1 => MatrixSource::Inline {
+                nrows: r.u64("load.nrows")?,
+                ncols: r.u64("load.ncols")?,
+                col_ptr: r.vec_u64("load.col_ptr")?,
+                row_idx: r.vec_u64("load.row_idx")?,
+                values: r.vec_f64("load.values")?,
+            },
+            _ => return Err(DecodeError::BadPayload("load.kind")),
+        };
+        if !r.done() {
+            return Err(DecodeError::BadPayload("load.trailing"));
+        }
+        Ok(LoadMatrixReq { name, source })
+    }
+}
+
+/// `LoadMatrix` response body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadMatrixResp {
+    /// Rows of the installed matrix.
+    pub nrows: u64,
+    /// Columns.
+    pub ncols: u64,
+    /// Nonzeros.
+    pub nnz: u64,
+    /// Bytes charged against the registry budget.
+    pub bytes: u64,
+    /// Entries evicted to make room.
+    pub evicted: u64,
+}
+
+impl LoadMatrixResp {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.nrows)
+            .u64(self.ncols)
+            .u64(self.nnz)
+            .u64(self.bytes)
+            .u64(self.evicted);
+        w.finish()
+    }
+
+    /// Parse.
+    pub fn decode(payload: &[u8]) -> Result<LoadMatrixResp, DecodeError> {
+        let mut r = Reader::new(payload);
+        let out = LoadMatrixResp {
+            nrows: r.u64("loadresp.nrows")?,
+            ncols: r.u64("loadresp.ncols")?,
+            nnz: r.u64("loadresp.nnz")?,
+            bytes: r.u64("loadresp.bytes")?,
+            evicted: r.u64("loadresp.evicted")?,
+        };
+        if !r.done() {
+            return Err(DecodeError::BadPayload("loadresp.trailing"));
+        }
+        Ok(out)
+    }
+}
+
+/// `Sketch` request flag bits.
+pub mod sketch_flags {
+    /// Opt this request out of batching (it runs alone even if compatible
+    /// neighbors are queued). The load generator's unbatched arm sets it.
+    pub const NO_BATCH: u32 = 1;
+    /// Reply with a checksum (Frobenius norm + bit-XOR) instead of the full
+    /// `d×n` sketch body — the latency-benchmark mode, where shipping
+    /// megabytes per response would measure the loopback, not the service.
+    pub const CHECKSUM_ONLY: u32 = 2;
+    /// All bits this build understands; others are rejected as bad requests.
+    pub const KNOWN: u32 = NO_BATCH | CHECKSUM_ONLY;
+}
+
+/// `Sketch` request body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SketchReq {
+    /// Registry handle of the matrix to sketch.
+    pub name: String,
+    /// Sketch rows `d`.
+    pub d: u64,
+    /// Blocking along `d`.
+    pub b_d: u64,
+    /// Blocking along `n`.
+    pub b_n: u64,
+    /// Seed of the implicit random matrix `S`.
+    pub seed: u64,
+    /// [`sketch_flags`] bits.
+    pub flags: u32,
+}
+
+impl SketchReq {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.str(&self.name)
+            .u64(self.d)
+            .u64(self.b_d)
+            .u64(self.b_n)
+            .u64(self.seed)
+            .u32(self.flags);
+        w.finish()
+    }
+
+    /// Parse.
+    pub fn decode(payload: &[u8]) -> Result<SketchReq, DecodeError> {
+        let mut r = Reader::new(payload);
+        let out = SketchReq {
+            name: r.str("sketch.name")?,
+            d: r.u64("sketch.d")?,
+            b_d: r.u64("sketch.b_d")?,
+            b_n: r.u64("sketch.b_n")?,
+            seed: r.u64("sketch.seed")?,
+            flags: r.u32("sketch.flags")?,
+        };
+        if !r.done() {
+            return Err(DecodeError::BadPayload("sketch.trailing"));
+        }
+        Ok(out)
+    }
+}
+
+/// `Sketch` response body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SketchResult {
+    /// The full sketch, column-major.
+    Full {
+        /// Rows (`d`).
+        d: u64,
+        /// Columns (`n` of the operand).
+        n: u64,
+        /// Size of the server-side batch this request rode in (1 when it
+        /// ran alone) — observability for the batching tests and loadgen.
+        batch: u32,
+        /// Column-major `d×n` values.
+        data: Vec<f64>,
+    },
+    /// Checksum only ([`sketch_flags::CHECKSUM_ONLY`]).
+    Checksum {
+        /// Rows (`d`).
+        d: u64,
+        /// Columns.
+        n: u64,
+        /// Server-side batch size.
+        batch: u32,
+        /// Frobenius norm of the sketch.
+        fro: f64,
+        /// XOR of all value bit patterns — order-independent bitwise
+        /// fingerprint, comparable against a local reference sketch.
+        xor: u64,
+    },
+}
+
+impl SketchResult {
+    /// Server-side batch size this request was served in.
+    pub fn batch(&self) -> u32 {
+        match self {
+            SketchResult::Full { batch, .. } | SketchResult::Checksum { batch, .. } => *batch,
+        }
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            SketchResult::Full { d, n, batch, data } => {
+                w.u8(0).u64(*d).u64(*n).u32(*batch).vec_f64(data);
+            }
+            SketchResult::Checksum {
+                d,
+                n,
+                batch,
+                fro,
+                xor,
+            } => {
+                w.u8(1).u64(*d).u64(*n).u32(*batch).f64(*fro).u64(*xor);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parse.
+    pub fn decode(payload: &[u8]) -> Result<SketchResult, DecodeError> {
+        let mut r = Reader::new(payload);
+        let out = match r.u8("sketchresp.kind")? {
+            0 => SketchResult::Full {
+                d: r.u64("sketchresp.d")?,
+                n: r.u64("sketchresp.n")?,
+                batch: r.u32("sketchresp.batch")?,
+                data: r.vec_f64("sketchresp.data")?,
+            },
+            1 => SketchResult::Checksum {
+                d: r.u64("sketchresp.d")?,
+                n: r.u64("sketchresp.n")?,
+                batch: r.u32("sketchresp.batch")?,
+                fro: r.f64("sketchresp.fro")?,
+                xor: r.u64("sketchresp.xor")?,
+            },
+            _ => return Err(DecodeError::BadPayload("sketchresp.kind")),
+        };
+        if !r.done() {
+            return Err(DecodeError::BadPayload("sketchresp.trailing"));
+        }
+        Ok(out)
+    }
+}
+
+/// `SolveSap` request body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveSapReq {
+    /// Registry handle of the system matrix.
+    pub name: String,
+    /// Oversampling factor γ.
+    pub gamma: u64,
+    /// Sketch seed.
+    pub seed: u64,
+    /// Right-hand side (`nrows` long).
+    pub rhs: Vec<f64>,
+}
+
+impl SolveSapReq {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.str(&self.name)
+            .u64(self.gamma)
+            .u64(self.seed)
+            .vec_f64(&self.rhs);
+        w.finish()
+    }
+
+    /// Parse.
+    pub fn decode(payload: &[u8]) -> Result<SolveSapReq, DecodeError> {
+        let mut r = Reader::new(payload);
+        let out = SolveSapReq {
+            name: r.str("sap.name")?,
+            gamma: r.u64("sap.gamma")?,
+            seed: r.u64("sap.seed")?,
+            rhs: r.vec_f64("sap.rhs")?,
+        };
+        if !r.done() {
+            return Err(DecodeError::BadPayload("sap.trailing"));
+        }
+        Ok(out)
+    }
+}
+
+/// `SolveSap` response body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveSapResp {
+    /// LSQR iterations.
+    pub iters: u64,
+    /// Numerical rank retained.
+    pub rank: u64,
+    /// Escalation retries consumed.
+    pub retries: u32,
+    /// Whether the QR→SVD fallback fired.
+    pub fallback_svd: bool,
+    /// The solution vector.
+    pub x: Vec<f64>,
+}
+
+impl SolveSapResp {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.iters)
+            .u64(self.rank)
+            .u32(self.retries)
+            .u8(self.fallback_svd as u8)
+            .vec_f64(&self.x);
+        w.finish()
+    }
+
+    /// Parse.
+    pub fn decode(payload: &[u8]) -> Result<SolveSapResp, DecodeError> {
+        let mut r = Reader::new(payload);
+        let out = SolveSapResp {
+            iters: r.u64("sapresp.iters")?,
+            rank: r.u64("sapresp.rank")?,
+            retries: r.u32("sapresp.retries")?,
+            fallback_svd: r.u8("sapresp.fallback")? != 0,
+            x: r.vec_f64("sapresp.x")?,
+        };
+        if !r.done() {
+            return Err(DecodeError::BadPayload("sapresp.trailing"));
+        }
+        Ok(out)
+    }
+}
+
+/// `Health` response body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HealthResp {
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Requests currently queued.
+    pub queue_depth: u64,
+    /// Matrices resident in the registry.
+    pub matrices: u64,
+    /// The server's configured max batch size.
+    pub batch_max: u32,
+}
+
+impl HealthResp {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.uptime_ms)
+            .u64(self.queue_depth)
+            .u64(self.matrices)
+            .u32(self.batch_max);
+        w.finish()
+    }
+
+    /// Parse.
+    pub fn decode(payload: &[u8]) -> Result<HealthResp, DecodeError> {
+        let mut r = Reader::new(payload);
+        let out = HealthResp {
+            uptime_ms: r.u64("health.uptime")?,
+            queue_depth: r.u64("health.queue")?,
+            matrices: r.u64("health.matrices")?,
+            batch_max: r.u32("health.batch_max")?,
+        };
+        if !r.done() {
+            return Err(DecodeError::BadPayload("health.trailing"));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = Frame::request(Op::Sketch, 42, 1500, vec![1, 2, 3, 4, 5]);
+        let bytes = f.encode();
+        let (g, used) = decode(&bytes).expect("roundtrip");
+        assert_eq!(used, bytes.len());
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn truncated_header_and_payload_signal_need() {
+        let f = Frame::request(Op::Health, 7, 0, vec![9; 10]);
+        let bytes = f.encode();
+        match decode(&bytes[..HEADER_LEN - 1]) {
+            Err(DecodeError::Truncated { need, got }) => {
+                assert_eq!(need, HEADER_LEN);
+                assert_eq!(got, HEADER_LEN - 1);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        match decode(&bytes[..bytes.len() - 1]) {
+            Err(DecodeError::Truncated { need, got }) => {
+                assert_eq!(need, bytes.len());
+                assert_eq!(got, bytes.len() - 1);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_crc_is_typed() {
+        let f = Frame::request(Op::Sketch, 1, 0, vec![1, 2, 3]);
+        let mut bytes = f.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        assert!(matches!(decode(&bytes), Err(DecodeError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn message_bodies_roundtrip() {
+        let load = LoadMatrixReq {
+            name: "a".into(),
+            source: MatrixSource::Inline {
+                nrows: 3,
+                ncols: 2,
+                col_ptr: vec![0, 1, 2],
+                row_idx: vec![0, 2],
+                values: vec![1.5, -2.5],
+            },
+        };
+        assert_eq!(LoadMatrixReq::decode(&load.encode()).unwrap(), load);
+
+        let sk = SketchReq {
+            name: "a".into(),
+            d: 8,
+            b_d: 4,
+            b_n: 2,
+            seed: 99,
+            flags: sketch_flags::CHECKSUM_ONLY,
+        };
+        assert_eq!(SketchReq::decode(&sk.encode()).unwrap(), sk);
+
+        let res = SketchResult::Checksum {
+            d: 8,
+            n: 2,
+            batch: 4,
+            fro: 3.25,
+            xor: 0xDEAD,
+        };
+        assert_eq!(SketchResult::decode(&res.encode()).unwrap(), res);
+
+        let sap = SolveSapReq {
+            name: "a".into(),
+            gamma: 2,
+            seed: 5,
+            rhs: vec![1.0, 2.0, 3.0],
+        };
+        assert_eq!(SolveSapReq::decode(&sap.encode()).unwrap(), sap);
+    }
+
+    #[test]
+    fn vec_length_is_bounds_checked_before_allocation() {
+        // A u32 count of u64::MAX-ish elements with a 4-byte body must be
+        // rejected without allocating.
+        let mut w = Writer::new();
+        w.u32(0xFFFF_FFFF);
+        w.u32(7);
+        let body = w.finish();
+        let mut r = Reader::new(&body);
+        assert!(matches!(r.vec_f64("x"), Err(DecodeError::BadPayload(_))));
+    }
+}

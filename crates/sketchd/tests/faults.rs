@@ -1,0 +1,197 @@
+//! Fault-injection regressions for the service, isolated in their own
+//! test binary because faultkit plans are process-global: a plan armed
+//! here must never leak into the clean-path service tests.
+//!
+//! The headline regression (PR 5 satellite): a worker dying mid-request
+//! cannot poison the shared queue — one injected fault yields exactly one
+//! typed error frame, and the *next* request on the same connection
+//! succeeds against the same worker pool.
+//!
+//! Tests run serially under a shared lock (cargo's default parallelism
+//! would otherwise interleave two process-global fault plans).
+
+use sketchd::client::Client;
+use sketchd::proto::{SketchResult, Status};
+use sketchd::{Server, ServerConfig};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+fn fault_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+struct Armed;
+
+impl Armed {
+    fn new(spec: &str) -> Armed {
+        faultkit::set_plan_str(spec, 0xFA17).expect("valid plan");
+        Armed
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        faultkit::clear();
+    }
+}
+
+fn start() -> Server {
+    obskit::set_enabled(true);
+    Server::start(ServerConfig::default()).expect("bind")
+}
+
+fn load_test_matrix(c: &mut Client, name: &str) {
+    let n = 16usize;
+    let mut col_ptr = vec![0u64];
+    let mut row_idx = Vec::new();
+    let mut values = Vec::new();
+    for j in 0..n {
+        for i in j.saturating_sub(1)..(j + 2).min(n) {
+            row_idx.push(i as u64);
+            values.push(((i * 5 + j) % 9) as f64 / 9.0 + 0.5);
+        }
+        col_ptr.push(row_idx.len() as u64);
+    }
+    c.load_inline(name, n as u64, n as u64, col_ptr, row_idx, values)
+        .expect("load");
+}
+
+/// One dispatch fault → one Internal frame → same connection, same worker
+/// pool, next request is served. The queue is not poisoned and the worker
+/// did not die.
+#[test]
+fn dispatch_panic_yields_one_error_frame_then_recovers() {
+    let _g = fault_lock();
+    let server = start();
+    let mut c = Client::connect(server.addr(), Duration::from_secs(30)).expect("connect");
+    load_test_matrix(&mut c, "f1");
+    {
+        let _armed = Armed::new("svc/dispatch=once");
+        let err = c
+            .sketch("f1", 8, 4, 4, 1, 0, 0)
+            .expect_err("fault must surface");
+        assert_eq!(err.status(), Some(Status::Internal), "got {err}");
+        let detail = format!("{err}");
+        assert!(
+            detail.contains("svc/dispatch"),
+            "error frame should carry the panic: {detail}"
+        );
+    }
+    // The very next request on the same connection succeeds.
+    let ok = c
+        .sketch("f1", 8, 4, 4, 1, 0, 0)
+        .expect("worker pool must survive the fault");
+    assert!(matches!(ok, SketchResult::Full { .. }));
+    // And the service remains healthy end to end.
+    let h = c.health().expect("health");
+    assert_eq!(h.queue_depth, 0, "no zombie jobs after a contained fault");
+    c.shutdown().expect("shutdown");
+    server.join();
+}
+
+/// An injected decode fault is a per-request BadRequest; the connection
+/// survives and the next request succeeds.
+#[test]
+fn decode_fault_is_a_typed_bad_request_and_connection_survives() {
+    let _g = fault_lock();
+    let server = start();
+    let mut c = Client::connect(server.addr(), Duration::from_secs(30)).expect("connect");
+    load_test_matrix(&mut c, "f2");
+    {
+        let _armed = Armed::new("svc/decode=once");
+        let err = c
+            .sketch("f2", 8, 4, 4, 2, 0, 0)
+            .expect_err("fault must surface");
+        assert_eq!(err.status(), Some(Status::BadRequest), "got {err}");
+    }
+    let ok = c
+        .sketch("f2", 8, 4, 4, 2, 0, 0)
+        .expect("connection must survive");
+    assert!(matches!(ok, SketchResult::Full { .. }));
+    c.shutdown().expect("shutdown");
+    server.join();
+}
+
+/// A dropped accept (`svc/accept`) kills only that one connection attempt;
+/// the next connect is served.
+#[test]
+fn accept_fault_drops_one_connection_only() {
+    let _g = fault_lock();
+    let server = start();
+    {
+        let _armed = Armed::new("svc/accept=once");
+        // This connection is accepted then immediately dropped by the
+        // failpoint: the first request errs out rather than hanging.
+        let result = Client::connect(server.addr(), Duration::from_millis(500))
+            .and_then(|mut c| c.health().map(|_| ()));
+        assert!(result.is_err(), "faulted accept must not serve");
+    }
+    let mut c = Client::connect(server.addr(), Duration::from_secs(30)).expect("reconnect");
+    c.health()
+        .expect("server must accept again after the fault");
+    c.shutdown().expect("shutdown");
+    server.join();
+}
+
+/// A killed reply write (`svc/reply`) closes that client's connection;
+/// the worker moves on and other connections are unaffected.
+#[test]
+fn reply_fault_kills_one_connection_not_the_worker() {
+    let _g = fault_lock();
+    let server = start();
+    let mut c = Client::connect(server.addr(), Duration::from_secs(30)).expect("connect");
+    load_test_matrix(&mut c, "f4");
+    {
+        let _armed = Armed::new("svc/reply=once");
+        let result = c.sketch("f4", 8, 4, 4, 3, 0, 0);
+        assert!(
+            result.is_err(),
+            "reply was shot down; client must see an error, not a hang"
+        );
+    }
+    // A fresh connection is served by the same (alive) worker pool.
+    let mut c2 = Client::connect(server.addr(), Duration::from_secs(30)).expect("reconnect");
+    let ok = c2
+        .sketch("f4", 8, 4, 4, 3, 0, 0)
+        .expect("worker survived the reply fault");
+    assert!(matches!(ok, SketchResult::Full { .. }));
+    c2.shutdown().expect("shutdown");
+    server.join();
+}
+
+/// Repeated dispatch faults (`every:2`) interleave error and success
+/// frames without ever wedging the queue.
+#[test]
+fn alternating_faults_never_wedge_the_queue() {
+    let _g = fault_lock();
+    let server = start();
+    let mut c = Client::connect(server.addr(), Duration::from_secs(30)).expect("connect");
+    load_test_matrix(&mut c, "f5");
+    let mut errors = 0;
+    let mut oks = 0;
+    {
+        let _armed = Armed::new("svc/dispatch=every:2");
+        for s in 0..8u64 {
+            match c.sketch("f5", 8, 4, 4, s, 0, 0) {
+                Ok(_) => oks += 1,
+                Err(e) => {
+                    assert_eq!(e.status(), Some(Status::Internal), "got {e}");
+                    errors += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        errors >= 2,
+        "every:2 over 8 requests must fire repeatedly (saw {errors})"
+    );
+    assert!(
+        oks >= 2,
+        "non-faulted requests must keep succeeding (saw {oks})"
+    );
+    c.shutdown().expect("shutdown");
+    server.join();
+}

@@ -1,0 +1,214 @@
+//! Wire-protocol property tests: seeded fuzz over encode/decode.
+//!
+//! The invariant under test is the one the server's connection threads
+//! rely on: `proto::decode` over *arbitrary* bytes either yields a frame
+//! or a typed [`DecodeError`] — it never panics, never allocates
+//! unboundedly, and always reports `Truncated` (and only `Truncated`) for
+//! prefixes of valid frames. Randomness is a seeded LCG so every failure
+//! is reproducible.
+
+use sketchd::proto::{
+    self, decode, DecodeError, Frame, LoadMatrixReq, Op, SketchReq, SketchResult, SolveSapReq,
+    Status, HEADER_LEN, MAX_PAYLOAD,
+};
+
+/// Deterministic 64-bit LCG (same constants as the kernels' test helper).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn random_frame(rng: &mut Lcg) -> Frame {
+    let op = match rng.below(6) {
+        0 => Op::LoadMatrix,
+        1 => Op::Sketch,
+        2 => Op::SolveSap,
+        3 => Op::Stats,
+        4 => Op::Health,
+        _ => Op::Shutdown,
+    };
+    let status = match rng.below(7) {
+        0 => Status::Ok,
+        1 => Status::Overloaded,
+        2 => Status::DeadlineExceeded,
+        3 => Status::BadRequest,
+        4 => Status::NotFound,
+        5 => Status::Internal,
+        _ => Status::ShuttingDown,
+    };
+    let payload: Vec<u8> = (0..rng.below(256)).map(|_| rng.next() as u8).collect();
+    Frame {
+        op,
+        status,
+        req_id: rng.next(),
+        deadline_ms: rng.next() as u32,
+        payload,
+    }
+}
+
+#[test]
+fn random_frames_roundtrip_bitwise() {
+    let mut rng = Lcg(0xF00D);
+    for _ in 0..500 {
+        let f = random_frame(&mut rng);
+        let bytes = f.encode();
+        let (g, used) = decode(&bytes).expect("valid frame must decode");
+        assert_eq!(used, bytes.len());
+        assert_eq!(f, g);
+        // Concatenated frames decode one at a time.
+        let mut twice = bytes.clone();
+        twice.extend_from_slice(&bytes);
+        let (g2, used2) = decode(&twice).expect("first of two frames");
+        assert_eq!((used2, &g2), (bytes.len(), &f));
+    }
+}
+
+#[test]
+fn every_truncation_of_a_valid_frame_is_truncated_not_panic() {
+    let mut rng = Lcg(0xBEEF);
+    for _ in 0..50 {
+        let f = random_frame(&mut rng);
+        let bytes = f.encode();
+        for cut in 0..bytes.len() {
+            match decode(&bytes[..cut]) {
+                Err(DecodeError::Truncated { need, got }) => {
+                    assert_eq!(got, cut);
+                    assert!(need > cut, "need {need} must exceed available {cut}");
+                    assert!(need <= bytes.len());
+                }
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn single_byte_corruption_never_panics_and_is_typed() {
+    let mut rng = Lcg(0xC0FFEE);
+    for _ in 0..200 {
+        let f = random_frame(&mut rng);
+        let mut bytes = f.encode();
+        let pos = rng.below(bytes.len() as u64) as usize;
+        let bit = 1u8 << rng.below(8);
+        bytes[pos] ^= bit;
+        match decode(&bytes) {
+            // Corrupting op/status/req_id/deadline bytes can yield a
+            // different but still-valid frame; anything else must be a
+            // typed error.
+            Ok((g, used)) => {
+                assert_eq!(used, bytes.len());
+                assert!(
+                    (6..20).contains(&pos),
+                    "corruption at {pos} decoded Ok but only header bytes 6..20 are CRC-exempt: {g:?}"
+                );
+            }
+            Err(
+                DecodeError::BadMagic(_)
+                | DecodeError::BadVersion(_)
+                | DecodeError::UnknownOp(_)
+                | DecodeError::UnknownStatus(_)
+                | DecodeError::Oversized { .. }
+                | DecodeError::BadCrc { .. }
+                | DecodeError::Truncated { .. },
+            ) => {}
+            Err(e) => panic!("unexpected decode error class: {e:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_length_is_rejected_before_allocation() {
+    let f = Frame::request(Op::Sketch, 1, 0, vec![0; 8]);
+    let mut bytes = f.encode();
+    // Rewrite payload_len to MAX_PAYLOAD + 1 — decode must refuse on the
+    // declared length alone, without waiting for (or allocating) 64 MiB.
+    bytes[20..24].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+    match decode(&bytes) {
+        Err(DecodeError::Oversized { len, max }) => {
+            assert_eq!(len, MAX_PAYLOAD + 1);
+            assert_eq!(max, MAX_PAYLOAD);
+        }
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    let mut rng = Lcg(0xDADA);
+    for _ in 0..500 {
+        let len = rng.below(96) as usize;
+        let garbage: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+        // Any result is fine; the property is "no panic, no hang".
+        let _ = decode(&garbage);
+    }
+    // And garbage that starts with valid magic + version still can't panic.
+    for _ in 0..500 {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&proto::MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&proto::VERSION.to_le_bytes());
+        let extra = rng.below(64) as usize;
+        bytes.extend((0..extra).map(|_| rng.next() as u8));
+        let _ = decode(&bytes);
+    }
+}
+
+#[test]
+fn fuzzed_payload_bodies_never_panic_their_parsers() {
+    let mut rng = Lcg(0x5EED);
+    for _ in 0..2000 {
+        let len = rng.below(160) as usize;
+        let body: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+        let _ = LoadMatrixReq::decode(&body);
+        let _ = SketchReq::decode(&body);
+        let _ = SolveSapReq::decode(&body);
+        let _ = SketchResult::decode(&body);
+    }
+    // Hostile vector counts: a huge declared count over a short body must
+    // be a typed error (bounds-checked before allocation).
+    let mut evil = Vec::new();
+    evil.extend_from_slice(&4u32.to_le_bytes());
+    evil.extend_from_slice(b"name");
+    evil.extend_from_slice(&2u64.to_le_bytes()); // gamma
+    evil.extend_from_slice(&7u64.to_le_bytes()); // seed
+    evil.extend_from_slice(&u32::MAX.to_le_bytes()); // rhs count: 4 billion
+    evil.extend_from_slice(&[1, 2, 3]);
+    assert!(matches!(
+        SolveSapReq::decode(&evil),
+        Err(DecodeError::BadPayload(_))
+    ));
+}
+
+#[test]
+fn header_with_wrong_magic_or_version_is_rejected_up_front() {
+    let f = Frame::request(Op::Health, 9, 0, Vec::new());
+    let mut bad_magic = f.encode();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(decode(&bad_magic), Err(DecodeError::BadMagic(_))));
+    let mut bad_version = f.encode();
+    bad_version[4] = 0x7F;
+    assert!(matches!(
+        decode(&bad_version),
+        Err(DecodeError::BadVersion(_))
+    ));
+    let mut bad_op = f.encode();
+    bad_op[6] = 0xEE;
+    assert!(matches!(decode(&bad_op), Err(DecodeError::UnknownOp(0xEE))));
+    let mut bad_status = f.encode();
+    bad_status[7] = 0xEE;
+    assert!(matches!(
+        decode(&bad_status),
+        Err(DecodeError::UnknownStatus(0xEE))
+    ));
+    assert_eq!(HEADER_LEN, 28, "header layout is part of the wire contract");
+}

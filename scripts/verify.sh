@@ -20,7 +20,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== clippy lint gate: no unwrap/expect on library paths =="
 # Library crates must surface failures as typed errors, not panics; --lib
 # keeps #[cfg(test)] modules, tests/ and bins exempt.
-for c in sparsekit densekit rngkit obskit parkit faultkit sketchcore lstsq datagen; do
+for c in sparsekit densekit rngkit obskit parkit faultkit sketchcore lstsq datagen sketchd; do
   cargo clippy -q -p "$c" --lib -- -D clippy::unwrap_used -D clippy::expect_used
 done
 
@@ -48,6 +48,42 @@ CHAOS_TMP="$(mktemp /tmp/chaos_verify_XXXXXX.jsonl)"
 trap 'rm -f "$CHAOS_TMP" "$TRACE_TMP" "$FOLDED_TMP" "$FOLDED_TMP.svg"' EXIT
 ./target/release/chaoscheck --quick --report "$CHAOS_TMP"
 grep -q '"outcome"' "$CHAOS_TMP" || { echo "verify: empty chaos report" >&2; exit 1; }
+
+echo "== service smoke (sketchd on an ephemeral port + loadgen --quick + clean shutdown) =="
+PORT_TMP="$(mktemp /tmp/sketchd_port_XXXXXX)"
+SVC_LOG="$(mktemp /tmp/sketchd_log_XXXXXX)"
+trap 'rm -f "$PORT_TMP" "$SVC_LOG" "$BENCHGATE_TMP" "$CHAOS_TMP" "$TRACE_TMP" "$FOLDED_TMP" "$FOLDED_TMP.svg"; kill "$SVC_PID" 2>/dev/null || true' EXIT
+: > "$PORT_TMP"
+./target/release/sketchd --addr 127.0.0.1:0 --port-file "$PORT_TMP" > "$SVC_LOG" 2>&1 &
+SVC_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_TMP" ] && break
+  sleep 0.05
+done
+[ -s "$PORT_TMP" ] || { echo "verify: sketchd never wrote its port file" >&2; exit 1; }
+PORT="$(head -n1 "$PORT_TMP")"
+./target/release/sketchctl --addr "127.0.0.1:$PORT" health
+./target/release/loadgen --quick --port-file "$PORT_TMP"
+./target/release/sketchctl --addr "127.0.0.1:$PORT" shutdown
+# join() returns only when every acceptor/worker/connection thread has
+# exited, so a prompt clean process exit IS the no-leaked-threads check.
+SVC_RC=0
+for _ in $(seq 1 100); do
+  kill -0 "$SVC_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SVC_PID" 2>/dev/null; then
+  echo "verify: sketchd still alive 10s after shutdown (leaked thread?)" >&2
+  kill -9 "$SVC_PID"
+  exit 1
+fi
+wait "$SVC_PID" || SVC_RC=$?
+[ "$SVC_RC" -eq 0 ] || { echo "verify: sketchd exited nonzero ($SVC_RC)"; cat "$SVC_LOG" >&2; exit 1; }
+grep -q "sketchd: clean shutdown" "$SVC_LOG" || { echo "verify: no clean-shutdown line"; cat "$SVC_LOG" >&2; exit 1; }
+echo "service smoke ok: ephemeral port $PORT, loadgen --quick served, clean shutdown"
+
+echo "== service chaoscheck (failpoints at accept/decode/dispatch/reply: typed frames, recovery) =="
+./target/release/chaoscheck --quick --service-only
 
 echo "== benchgate suite listing =="
 ./target/release/benchgate list --quick
